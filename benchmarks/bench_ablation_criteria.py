@@ -1,0 +1,76 @@
+"""Ablation: the sample-selection criterion of Algorithm 1.
+
+Compares NDCG-driven, KT-driven, II-driven and composite selection over the
+same Mallows samples: each criterion optimizes its own target, exposing the
+robustness motivation for randomized (criterion-light) selection.
+"""
+
+import numpy as np
+
+from repro.algorithms.base import FairRankingProblem
+from repro.algorithms.criteria import (
+    CompositeCriterion,
+    MaxNdcgCriterion,
+    MinInfeasibleIndexCriterion,
+    MinKendallTauCriterion,
+)
+from repro.algorithms.mallows_postprocess import MallowsFairRanking
+from repro.datasets.german_credit import synthesize_german_credit
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.construction import weakly_fair_ranking
+from repro.fairness.infeasible_index import infeasible_index
+from repro.rankings.distances import kendall_tau_distance
+from repro.rankings.quality import ndcg
+from repro.utils.tables import format_table
+
+N_TRIALS = 20
+THETA = 0.5
+M = 15
+
+
+def _run_comparison():
+    data = synthesize_german_credit(seed=0).subsample(40, seed=5)
+    fc = FairnessConstraints.proportional(data.age_sex)
+    base = weakly_fair_ranking(data.credit_amount, data.age_sex, fc)
+    problem = FairRankingProblem(
+        base_ranking=base, scores=data.credit_amount,
+        groups=data.age_sex, constraints=fc,
+    )
+    criteria = {
+        "max-ndcg": MaxNdcgCriterion(),
+        "min-kt": MinKendallTauCriterion(),
+        "min-ii(Age-Sex)": MinInfeasibleIndexCriterion(),
+        "composite": CompositeCriterion(
+            [(MaxNdcgCriterion(), 0.5), (MinInfeasibleIndexCriterion(), 0.5)]
+        ),
+    }
+    rows = []
+    stats = {}
+    for name, criterion in criteria.items():
+        alg = MallowsFairRanking(THETA, n_samples=M, criterion=criterion)
+        ndcgs, kts, iis = [], [], []
+        for s in range(N_TRIALS):
+            result = alg.rank(problem, seed=s)
+            ndcgs.append(ndcg(result.ranking, data.credit_amount))
+            kts.append(kendall_tau_distance(result.ranking, base))
+            iis.append(infeasible_index(result.ranking, data.age_sex, fc))
+        stats[name] = (np.mean(ndcgs), np.mean(kts), np.mean(iis))
+        rows.append(
+            [name, float(np.mean(ndcgs)), float(np.mean(kts)), float(np.mean(iis))]
+        )
+    return rows, stats
+
+
+def test_ablation_selection_criteria(benchmark, report):
+    rows, stats = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)
+    text = format_table(
+        ["criterion", "mean NDCG", "mean KT to base", "mean II (Age-Sex)"],
+        rows,
+        title=f"Ablation: selection criterion (theta={THETA}, m={M})",
+    )
+    report("Ablation — selection criterion", text)
+
+    # Each criterion must win (or tie) on its own objective.
+    assert stats["max-ndcg"][0] >= max(s[0] for s in stats.values()) - 1e-9
+    assert stats["min-kt"][1] <= min(s[1] for s in stats.values()) + 1e-9
+    assert stats["min-ii(Age-Sex)"][2] <= min(s[2] for s in stats.values()) + 1e-9

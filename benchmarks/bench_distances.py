@@ -1,0 +1,59 @@
+"""Substrate micro-benchmarks: rank distance kernels.
+
+Times the O(n log n) Kendall tau against the quadratic reference and the
+other metrics at the paper's largest ranking size and beyond.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rankings.distances import (
+    footrule_distance,
+    kendall_tau_distance,
+    kendall_tau_distance_naive,
+    spearman_distance,
+    ulam_distance,
+)
+from repro.rankings.permutation import random_ranking
+
+
+@pytest.fixture(scope="module")
+def pair_100():
+    return random_ranking(100, seed=0), random_ranking(100, seed=1)
+
+
+@pytest.fixture(scope="module")
+def pair_2000():
+    return random_ranking(2000, seed=0), random_ranking(2000, seed=1)
+
+
+def test_kendall_tau_fast_n100(benchmark, pair_100):
+    p, q = pair_100
+    d = benchmark(kendall_tau_distance, p, q)
+    assert d == kendall_tau_distance_naive(p, q)
+
+
+def test_kendall_tau_naive_n100(benchmark, pair_100):
+    p, q = pair_100
+    benchmark(kendall_tau_distance_naive, p, q)
+
+
+def test_kendall_tau_fast_n2000(benchmark, pair_2000):
+    p, q = pair_2000
+    d = benchmark(kendall_tau_distance, p, q)
+    assert 0 < d < 2000 * 1999 // 2
+
+
+def test_footrule_n2000(benchmark, pair_2000):
+    p, q = pair_2000
+    benchmark(footrule_distance, p, q)
+
+
+def test_spearman_n2000(benchmark, pair_2000):
+    p, q = pair_2000
+    benchmark(spearman_distance, p, q)
+
+
+def test_ulam_n2000(benchmark, pair_2000):
+    p, q = pair_2000
+    benchmark(ulam_distance, p, q)

@@ -1,0 +1,23 @@
+"""Figure 2 benchmark: Infeasible Index of the score-sorted central ranking
+as the group score shift delta grows."""
+
+from repro.experiments.config import Fig2Config
+from repro.experiments.fig2_central_ii import run_fig2
+
+CONFIG = Fig2Config(
+    deltas=tuple(round(0.1 * i, 1) for i in range(11)),
+    n_trials=200,
+    n_bootstrap=1000,
+    seed=2024,
+)
+
+
+def test_fig2_central_ranking_ii(benchmark, report):
+    result = benchmark.pedantic(run_fig2, args=(CONFIG,), rounds=1, iterations=1)
+    report("Fig.2 — central-ranking Infeasible Index vs delta", result.to_text())
+
+    estimates = [r.estimate for r in result.central_ii.values()]
+    # Segregation (and hence the II) grows with the score shift …
+    assert estimates[0] < estimates[5] < estimates[10]
+    # … and saturates at the maximum for fully separated distributions.
+    assert estimates[10] == 14.0

@@ -1,0 +1,30 @@
+"""Figure 3 benchmark: Infeasible Index of Mallows samples vs theta, per
+delta (the fairness half of the trade-off)."""
+
+import pytest
+
+from repro.experiments.config import Fig34Config
+from repro.experiments.fig34_tradeoff import run_fig34
+
+CONFIG = Fig34Config(
+    deltas=(0.0, 0.3, 0.6, 1.0),
+    thetas=(0.1, 0.25, 0.5, 1.0, 2.0, 4.0),
+    n_trials=50,
+    samples_per_trial=20,
+    n_bootstrap=1000,
+    seed=2024,
+)
+
+
+def test_fig3_sample_infeasible_index(benchmark, report):
+    result = benchmark.pedantic(run_fig34, args=(CONFIG,), rounds=1, iterations=1)
+    report("Fig.3 — sample Infeasible Index vs theta, per delta", result.to_text_fig3())
+
+    for delta in CONFIG.deltas:
+        per_theta = result.sample_ii[delta]
+        # Sample II converges to the central ranking's own II.
+        assert per_theta[4.0].estimate == pytest.approx(
+            result.central_ii[delta], abs=1.5
+        )
+    # For the maximally unfair centre, randomization repairs fairness.
+    assert result.sample_ii[1.0][0.1].estimate < result.central_ii[1.0] - 5

@@ -1,0 +1,26 @@
+"""Figure 4 benchmark: NDCG of Mallows samples vs theta, per delta (the
+efficiency half of the trade-off)."""
+
+from repro.experiments.config import Fig34Config
+from repro.experiments.fig34_tradeoff import run_fig34
+
+CONFIG = Fig34Config(
+    deltas=(0.0, 0.3, 0.6, 1.0),
+    thetas=(0.1, 0.25, 0.5, 1.0, 2.0, 4.0),
+    n_trials=50,
+    samples_per_trial=20,
+    n_bootstrap=1000,
+    seed=2025,
+)
+
+
+def test_fig4_sample_ndcg(benchmark, report):
+    result = benchmark.pedantic(run_fig34, args=(CONFIG,), rounds=1, iterations=1)
+    report("Fig.4 — sample NDCG vs theta, per delta", result.to_text_fig4())
+
+    for delta in CONFIG.deltas:
+        estimates = [result.sample_ndcg[delta][t].estimate for t in CONFIG.thetas]
+        # NDCG rises monotonically with theta and converges to 1 (the
+        # central ranking is score-sorted, so its NDCG is 1).
+        assert estimates == sorted(estimates)
+        assert estimates[-1] > 0.995

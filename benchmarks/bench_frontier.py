@@ -1,0 +1,56 @@
+"""Benchmark: the fairness/efficiency frontier computation.
+
+Times one full frontier sweep at German Credit scale and reports the
+resulting operating-point table (II metric and exposure metric).
+"""
+
+from repro.datasets.german_credit import synthesize_german_credit
+from repro.experiments.frontier import compute_tradeoff_frontier
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.construction import weakly_fair_ranking
+
+N = 50
+THETAS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def _setup():
+    data = synthesize_german_credit(seed=0).subsample(N, seed=9)
+    fc = FairnessConstraints.proportional(data.age_sex)
+    base = weakly_fair_ranking(data.credit_amount, data.age_sex, fc)
+    return data, base
+
+
+def test_frontier_infeasible_index(benchmark, report):
+    data, base = _setup()
+    fc_housing = FairnessConstraints.proportional(data.housing)
+
+    frontier = benchmark.pedantic(
+        compute_tradeoff_frontier,
+        args=(base, data.credit_amount, data.housing),
+        kwargs={
+            "constraints": fc_housing,
+            "thetas": THETAS,
+            "m": 400,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report("Frontier — Infeasible Index vs NDCG (unknown attribute)", frontier.to_text())
+
+    ndcgs = [p.ndcg for p in frontier.points]
+    assert ndcgs == sorted(ndcgs)
+    assert frontier.pareto_points()
+
+
+def test_frontier_exposure(benchmark, report):
+    data, base = _setup()
+    frontier = benchmark.pedantic(
+        compute_tradeoff_frontier,
+        args=(base, data.credit_amount, data.housing),
+        kwargs={"thetas": THETAS, "m": 200, "metric": "exposure-gap", "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    report("Frontier — exposure parity gap vs NDCG", frontier.to_text())
+    assert frontier.metric == "exposure-gap"

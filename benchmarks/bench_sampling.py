@@ -1,0 +1,20 @@
+"""Substrate micro-benchmarks: Mallows sampling throughput."""
+
+import pytest
+
+from repro.mallows.sampling import sample_mallows_batch
+from repro.rankings.permutation import random_ranking
+
+
+@pytest.mark.parametrize("n", [10, 100, 500])
+def test_rim_batch_100_samples(benchmark, n):
+    center = random_ranking(n, seed=0)
+    orders = benchmark(sample_mallows_batch, center, 1.0, 100, 0)
+    assert orders.shape == (100, n)
+
+
+@pytest.mark.parametrize("theta", [0.0, 0.5, 4.0])
+def test_rim_theta_regimes(benchmark, theta):
+    center = random_ranking(100, seed=0)
+    orders = benchmark(sample_mallows_batch, center, theta, 200, 0)
+    assert orders.shape == (200, 100)

@@ -1,0 +1,21 @@
+"""Table I benchmark: regenerate the German Credit group distribution."""
+
+from repro.datasets.german_credit import GERMAN_CREDIT_TABLE1, synthesize_german_credit
+from repro.experiments.german_credit_exp import run_table1
+
+
+def test_table1_group_distribution(benchmark, report, german_credit_data):
+    text = benchmark.pedantic(
+        run_table1, args=(german_credit_data,), rounds=1, iterations=1
+    )
+    report("Table I — German Credit group distribution", text)
+
+    # The replica's joint counts must equal the paper's Table I exactly.
+    assert german_credit_data.joint_counts() == GERMAN_CREDIT_TABLE1
+    assert "1000" in text
+
+
+def test_table1_synthesis_throughput(benchmark):
+    """Micro-benchmark: building the 1000-applicant replica from scratch."""
+    data = benchmark(synthesize_german_credit, seed=1)
+    assert data.n_items == 1000

@@ -1,0 +1,77 @@
+"""Benchmark-suite plumbing.
+
+Two services for the per-figure benchmark files:
+
+* session-scoped caches of expensive shared computations (the four German
+  Credit panels feed Figs. 5, 6 and 7);
+* a ``report`` fixture collecting the rendered series of every artefact;
+  the collected reports are printed in the terminal summary, so they appear
+  in ``pytest benchmarks/ --benchmark-only`` output despite stdout capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.german_credit import synthesize_german_credit
+from repro.experiments.config import GermanCreditConfig
+from repro.experiments.german_credit_exp import run_german_credit
+
+#: (title, text) reports accumulated across the whole benchmark session.
+_REPORTS: list[tuple[str, str]] = []
+
+#: The paper's four panels: (theta, sigma).
+PANEL_PARAMS = ((0.5, 0.0), (1.0, 0.0), (0.5, 1.0), (1.0, 1.0))
+
+#: Benchmark-scale knobs for the German Credit sweeps: the full paper
+#: protocol (10 sizes x 15 repeats x 1000 bootstrap) per panel; identical
+#: workload shape to the paper.
+PANEL_CONFIGS = {
+    (theta, sigma): GermanCreditConfig(
+        theta=theta,
+        noise_sigma=sigma,
+        sizes=(10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+        n_repeats=15,
+        n_bootstrap=1000,
+        seed=2024,
+    )
+    for theta, sigma in PANEL_PARAMS
+}
+
+
+@pytest.fixture(scope="session")
+def german_credit_data():
+    """The 1000-applicant German Credit replica, built once."""
+    return synthesize_german_credit(seed=0)
+
+
+@pytest.fixture(scope="session")
+def german_panels(german_credit_data):
+    """All four (theta, sigma) panels, computed once per session."""
+    return {
+        params: run_german_credit(cfg, data=german_credit_data)
+        for params, cfg in PANEL_CONFIGS.items()
+    }
+
+
+@pytest.fixture
+def report():
+    """Collect a rendered artefact for the end-of-run summary."""
+
+    def _add(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every collected figure/table series after the benchmark table."""
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "reproduced paper artefacts")
+    for title, text in _REPORTS:
+        tr.write_line("")
+        tr.write_sep("-", title)
+        for line in text.splitlines():
+            tr.write_line(line)

@@ -1,0 +1,83 @@
+"""German Credit case study: the paper's Section V-C in miniature.
+
+Ranks credit applicants by credit amount, makes the ranking weakly-p-fair
+w.r.t. the *known* combined Age−Sex attribute, then compares all five
+algorithms on (a) fairness w.r.t. the known attribute, (b) fairness w.r.t.
+the *unknown* Housing attribute, and (c) NDCG — with and without Gaussian
+noise in the baselines' fairness constraints.
+
+Run:  python examples/german_credit_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    ApproxMultiValuedIPF,
+    DetConstSort,
+    DpFairRanking,
+    FairnessConstraints,
+    FairRankingProblem,
+    MallowsFairRanking,
+    ndcg,
+    percent_fair_positions,
+    synthesize_german_credit,
+    weakly_fair_ranking,
+)
+from repro.utils.tables import format_table
+
+SIZE = 50
+N_REPEATS = 10
+
+
+def run_panel(noise_sigma: float, theta: float, seed: int = 0):
+    data = synthesize_german_credit(seed=0)
+    rng = np.random.default_rng(seed)
+    algorithms = {
+        "DetConstSort": DetConstSort(noise_sigma=noise_sigma),
+        "ApproxMultiValuedIPF": ApproxMultiValuedIPF(noise_sigma=noise_sigma),
+        "ILP (exact DP)": DpFairRanking(noise_sigma=noise_sigma),
+        "Mallows m=1": MallowsFairRanking(theta, n_samples=1),
+        "Mallows m=15": MallowsFairRanking(theta, n_samples=15),
+    }
+    sums = {name: np.zeros(3) for name in algorithms}
+    for _ in range(N_REPEATS):
+        sub = data.subsample(SIZE, seed=rng)
+        fc_known = FairnessConstraints.proportional(sub.age_sex)
+        fc_unknown = FairnessConstraints.proportional(sub.housing)
+        base = weakly_fair_ranking(sub.credit_amount, sub.age_sex, fc_known)
+        problem = FairRankingProblem(
+            base_ranking=base, scores=sub.credit_amount,
+            groups=sub.age_sex, constraints=fc_known,
+        )
+        for name, alg in algorithms.items():
+            ranking = alg.rank(problem, seed=rng).ranking
+            sums[name] += np.array([
+                percent_fair_positions(ranking, sub.age_sex, fc_known),
+                percent_fair_positions(ranking, sub.housing, fc_unknown),
+                ndcg(ranking, sub.credit_amount),
+            ])
+    return {name: total / N_REPEATS for name, total in sums.items()}
+
+
+def main() -> None:
+    for theta, sigma in ((0.5, 0.0), (0.5, 1.0)):
+        label = "no constraint noise" if sigma == 0 else f"noise sigma={sigma:g}"
+        stats = run_panel(noise_sigma=sigma, theta=theta, seed=3)
+        rows = [
+            [name, round(v[0], 1), round(v[1], 1), round(v[2], 4)]
+            for name, v in stats.items()
+        ]
+        print(
+            format_table(
+                ["algorithm", "PPfair Age-Sex %", "PPfair Housing %", "NDCG"],
+                rows,
+                title=(
+                    f"\nGerman Credit, k={SIZE}, theta={theta:g}, {label} "
+                    f"(mean of {N_REPEATS} subsamples)"
+                ),
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""HR shortlisting: the paper's motivating scenario.
+
+A recruiter gets hundreds of applications and must shortlist the top 10 for
+interviews.  Protected attributes (here a hidden demographic that the
+screening score happens to correlate with) are *not* on the resumes — in
+many jurisdictions collecting them is illegal — yet the employer is liable
+for indirect discrimination in the shortlist.
+
+This example shows how attribute-blind Mallows post-processing improves the
+hidden group's representation in the top-10 shortlist, and compares against
+what an attribute-aware method (DetConstSort) could do if the attribute
+*were* available.
+
+Run:  python examples/hr_shortlisting.py
+"""
+
+import numpy as np
+
+from repro import (
+    DetConstSort,
+    FairnessConstraints,
+    FairRankingProblem,
+    GroupAssignment,
+    MallowsFairRanking,
+    ndcg,
+    percent_fair_positions,
+)
+
+N_APPLICANTS = 200
+SHORTLIST = 10
+N_TRIALS = 30
+
+
+def simulate_applications(seed: int):
+    """Screening scores with a hidden demographic bias.
+
+    40% of applicants belong to a hidden group whose screening scores are
+    depressed by a small systematic gap (e.g. biased historical training
+    data), so a pure score ranking under-represents them at the top.
+    """
+    rng = np.random.default_rng(seed)
+    hidden = rng.random(N_APPLICANTS) < 0.4
+    scores = rng.normal(0.6, 0.15, N_APPLICANTS)
+    scores[hidden] -= 0.08  # the bias
+    scores = scores.clip(0.01, 1.0)
+    groups = GroupAssignment(["hidden" if h else "majority" for h in hidden])
+    return scores, groups
+
+
+def representation(ranking, groups, k=SHORTLIST) -> float:
+    """Fraction of the top-k shortlist from the hidden group."""
+    top = ranking.prefix(k)
+    return float(np.mean(groups.indices[top] == groups.index_of_label("hidden")))
+
+
+def main() -> None:
+    scores, groups = simulate_applications(seed=1)
+    target = groups.proportions[groups.index_of_label("hidden")]
+    constraints = FairnessConstraints.proportional(groups)
+
+    # The recruiter's pipeline only has scores — no attributes.
+    blind_problem = FairRankingProblem.from_scores(scores)
+    base = blind_problem.base_ranking
+
+    print(f"{N_APPLICANTS} applicants, hidden-group share {target:.0%}")
+    print(f"\nScore-only shortlist (top {SHORTLIST}):")
+    print(f" hidden-group representation: {representation(base, groups):.0%}")
+    print(f" NDCG: {ndcg(base, scores):.4f}")
+
+    print("\nMallows post-processing (attribute-blind), mean over "
+          f"{N_TRIALS} runs:")
+    for theta in (0.01, 0.03, 0.1):
+        reps, ndcgs = [], []
+        for seed in range(N_TRIALS):
+            result = MallowsFairRanking(theta, n_samples=1).rank(
+                blind_problem, seed=seed
+            )
+            reps.append(representation(result.ranking, groups))
+            ndcgs.append(ndcg(result.ranking, scores))
+        print(
+            f" theta={theta:<5g} representation {np.mean(reps):.0%}  "
+            f"NDCG {np.mean(ndcgs):.4f}"
+        )
+
+    # Upper bound: what an attribute-aware method achieves when the
+    # attribute IS available (not the case in this scenario).
+    aware_problem = FairRankingProblem.from_scores(scores, groups)
+    aware = DetConstSort().rank(aware_problem, seed=0)
+    print("\nDetConstSort with the attribute available (reference):")
+    print(f" representation {representation(aware.ranking, groups):.0%}  "
+          f"NDCG {ndcg(aware.ranking, scores):.4f}")
+    print(
+        " PPfair over all prefixes: "
+        f"{percent_fair_positions(aware.ranking, groups, constraints):.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Robustness study: fairness w.r.t. attributes the algorithm never saw.
+
+Constructs a population with THREE protected attributes — one known to the
+ranking pipeline, two hidden — and measures how each post-processing method
+trades fairness across all three.  Attribute-aware methods optimize the
+known attribute and have no guarantees elsewhere; Mallows randomization is
+oblivious, spreading its fairness repair across every sufficiently large
+group structure.
+
+Run:  python examples/robustness_unknown_attribute.py
+"""
+
+import numpy as np
+
+from repro import (
+    ApproxMultiValuedIPF,
+    DetConstSort,
+    DpFairRanking,
+    FairnessConstraints,
+    FairRankingProblem,
+    GroupAssignment,
+    MallowsFairRanking,
+    ndcg,
+    percent_fair_positions,
+)
+from repro.utils.tables import format_table
+
+N = 60
+N_TRIALS = 15
+
+
+def build_population(seed: int):
+    """Scores plus three correlated binary attributes."""
+    rng = np.random.default_rng(seed)
+    known = rng.integers(0, 2, N)           # e.g. sex: available
+    hidden_a = (known + rng.integers(0, 2, N)) % 2   # correlates with known
+    hidden_b = rng.integers(0, 2, N)         # independent
+    # Scores biased against known=0 AND hidden_b=0.
+    scores = rng.random(N) + 0.25 * known + 0.35 * hidden_b
+    return (
+        scores,
+        GroupAssignment.from_indices(known),
+        GroupAssignment.from_indices(hidden_a),
+        GroupAssignment.from_indices(hidden_b),
+    )
+
+
+def main() -> None:
+    algorithms = {
+        "DetConstSort": DetConstSort(),
+        "ApproxMultiValuedIPF": ApproxMultiValuedIPF(),
+        "ILP (exact DP)": DpFairRanking(),
+        "Mallows theta=0.3": MallowsFairRanking(0.3, n_samples=15),
+        "Mallows theta=0.1": MallowsFairRanking(0.1, n_samples=15),
+    }
+    sums = {name: np.zeros(4) for name in algorithms}
+    base_sums = np.zeros(4)
+
+    for trial in range(N_TRIALS):
+        scores, known, hidden_a, hidden_b = build_population(seed=trial)
+        fc_known = FairnessConstraints.proportional(known)
+        fc_a = FairnessConstraints.proportional(hidden_a)
+        fc_b = FairnessConstraints.proportional(hidden_b)
+        problem = FairRankingProblem.from_scores(scores, known, fc_known)
+
+        def evaluate(ranking):
+            return np.array([
+                percent_fair_positions(ranking, known, fc_known),
+                percent_fair_positions(ranking, hidden_a, fc_a),
+                percent_fair_positions(ranking, hidden_b, fc_b),
+                ndcg(ranking, scores),
+            ])
+
+        base_sums += evaluate(problem.base_ranking)
+        for name, alg in algorithms.items():
+            result = alg.rank(problem, seed=trial)
+            sums[name] += evaluate(result.ranking)
+
+    rows = [["(score-sorted input)"] + [round(v, 1) for v in (base_sums / N_TRIALS)[:3]]
+            + [round((base_sums / N_TRIALS)[3], 4)]]
+    for name, total in sums.items():
+        mean = total / N_TRIALS
+        rows.append([name] + [round(v, 1) for v in mean[:3]] + [round(mean[3], 4)])
+
+    print(
+        format_table(
+            [
+                "algorithm",
+                "PPfair known %",
+                "PPfair hidden-A %",
+                "PPfair hidden-B %",
+                "NDCG",
+            ],
+            rows,
+            title=(
+                f"Fairness across known and hidden attributes "
+                f"(n={N}, mean of {N_TRIALS} trials)"
+            ),
+        )
+    )
+    print(
+        "\nReading: attribute-aware methods push 'PPfair known' toward 100%"
+        "\nbut inherit whatever the hidden attributes got; Mallows trades a"
+        "\nlittle NDCG for a more balanced profile across all attributes."
+    )
+
+
+if __name__ == "__main__":
+    main()

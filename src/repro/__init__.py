@@ -1,0 +1,132 @@
+"""repro — reproduction of "Fairness in Ranking: Robustness through
+Randomization without the Protected Attribute" (Kliachkin, Psaroudaki,
+Mareček, Fotakis; ICDE 2024).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (FairRankingProblem, MallowsFairRanking,
+...                    GroupAssignment, FairnessConstraints)
+>>> scores = np.array([0.9, 0.8, 0.7, 0.6, 0.5, 0.4])
+>>> groups = GroupAssignment(["a", "a", "a", "b", "b", "b"])
+>>> problem = FairRankingProblem.from_scores(scores, groups)
+>>> result = MallowsFairRanking(theta=1.0, n_samples=15).rank(problem, seed=0)
+>>> len(result.ranking)
+6
+
+The package layers:
+
+* :mod:`repro.rankings` — permutations, rank distances, NDCG;
+* :mod:`repro.groups` / :mod:`repro.fairness` — protected attributes,
+  two-sided P-fairness, the Infeasible Index;
+* :mod:`repro.mallows` — the Mallows model, exact sampling, learning;
+* :mod:`repro.algorithms` — the paper's Mallows post-processor and the
+  DetConstSort / ApproxMultiValuedIPF / ILP baselines (+ noisy variants);
+* :mod:`repro.aggregation` — fair rank-aggregation pipeline;
+* :mod:`repro.datasets` — German Credit and the synthetic workloads;
+* :mod:`repro.experiments` — the harness regenerating every figure/table.
+"""
+
+from repro.rankings import (
+    Ranking,
+    identity,
+    random_ranking,
+    kendall_tau_distance,
+    kendall_tau_coefficient,
+    spearman_distance,
+    footrule_distance,
+    ulam_distance,
+    dcg,
+    idcg,
+    ndcg,
+    rank_by_score,
+)
+from repro.groups import GroupAssignment, combine_attributes
+from repro.fairness import (
+    FairnessConstraints,
+    infeasible_index,
+    infeasible_index_breakdown,
+    is_fair,
+    is_weakly_fair,
+    percent_fair_positions,
+    weakly_fair_ranking,
+)
+from repro.mallows import (
+    MallowsModel,
+    sample_mallows,
+    sample_mallows_batch,
+    expected_kendall_tau,
+    fit_mallows,
+)
+from repro.algorithms import (
+    FairRankingAlgorithm,
+    FairRankingProblem,
+    FairRankingResult,
+    MallowsFairRanking,
+    GeneralizedMallowsFairRanking,
+    DetConstSort,
+    ApproxMultiValuedIPF,
+    GrBinaryIPF,
+    IlpFairRanking,
+    DpFairRanking,
+    MaxNdcgCriterion,
+    MinKendallTauCriterion,
+    MinInfeasibleIndexCriterion,
+    CompositeCriterion,
+)
+from repro.aggregation import FairAggregationPipeline
+from repro.datasets import (
+    load_german_credit,
+    synthesize_german_credit,
+    two_group_shifted_scores,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ranking",
+    "identity",
+    "random_ranking",
+    "kendall_tau_distance",
+    "kendall_tau_coefficient",
+    "spearman_distance",
+    "footrule_distance",
+    "ulam_distance",
+    "dcg",
+    "idcg",
+    "ndcg",
+    "rank_by_score",
+    "GroupAssignment",
+    "combine_attributes",
+    "FairnessConstraints",
+    "infeasible_index",
+    "infeasible_index_breakdown",
+    "is_fair",
+    "is_weakly_fair",
+    "percent_fair_positions",
+    "weakly_fair_ranking",
+    "MallowsModel",
+    "sample_mallows",
+    "sample_mallows_batch",
+    "expected_kendall_tau",
+    "fit_mallows",
+    "FairRankingAlgorithm",
+    "FairRankingProblem",
+    "FairRankingResult",
+    "MallowsFairRanking",
+    "GeneralizedMallowsFairRanking",
+    "DetConstSort",
+    "ApproxMultiValuedIPF",
+    "GrBinaryIPF",
+    "IlpFairRanking",
+    "DpFairRanking",
+    "MaxNdcgCriterion",
+    "MinKendallTauCriterion",
+    "MinInfeasibleIndexCriterion",
+    "CompositeCriterion",
+    "FairAggregationPipeline",
+    "load_german_credit",
+    "synthesize_german_credit",
+    "two_group_shifted_scores",
+    "__version__",
+]

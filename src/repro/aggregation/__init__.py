@@ -1,0 +1,18 @@
+"""Rank-aggregation substrate (the related-work pipeline the paper builds on):
+aggregate many input rankings into one, then post-process it to be P-fair."""
+
+from repro.aggregation.pairwise import pairwise_preference_matrix, total_kendall_tau
+from repro.aggregation.borda import borda_aggregate
+from repro.aggregation.copeland import copeland_aggregate
+from repro.aggregation.kemeny import kemeny_aggregate_exact, kwiksort_aggregate
+from repro.aggregation.fair_aggregation import FairAggregationPipeline
+
+__all__ = [
+    "pairwise_preference_matrix",
+    "total_kendall_tau",
+    "borda_aggregate",
+    "copeland_aggregate",
+    "kemeny_aggregate_exact",
+    "kwiksort_aggregate",
+    "FairAggregationPipeline",
+]

@@ -1,0 +1,22 @@
+"""Copeland aggregation: sort items by pairwise-majority wins."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregation.pairwise import pairwise_preference_matrix
+from repro.rankings.permutation import Ranking
+
+
+def copeland_aggregate(rankings: Sequence[Ranking]) -> Ranking:
+    """Order items by the number of opponents they beat in a strict pairwise
+    majority (ties broken by total preference weight, then item id)."""
+    w = pairwise_preference_matrix(rankings)
+    m = len(rankings)
+    wins = (w > m / 2.0).sum(axis=1).astype(np.float64)
+    margin = w.sum(axis=1).astype(np.float64)
+    # lexsort keys: last key is primary.
+    order = np.lexsort((np.arange(w.shape[0]), -margin, -wins))
+    return Ranking(order)

@@ -1,0 +1,64 @@
+"""Kemeny rank aggregation: exact (small n) and KwikSort approximation.
+
+The Kemeny optimum minimizes the total Kendall tau distance to the inputs —
+the objective the fair-aggregation literature (Wei et al., Chakraborty et
+al.) starts from.  Exact search is factorial, so it is gated to small ``n``;
+KwikSort (Ailon–Charikar–Newman) gives an expected 11/7-approximation by
+quicksorting around random pivots using majority preferences.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregation.pairwise import (
+    kemeny_objective_from_matrix,
+    pairwise_preference_matrix,
+)
+from repro.rankings.permutation import Ranking, all_rankings
+from repro.utils.rng import SeedLike, as_generator
+
+_EXACT_LIMIT = 9
+
+
+def kemeny_aggregate_exact(rankings: Sequence[Ranking]) -> Ranking:
+    """Exhaustive Kemeny optimum (``n <= 9`` guarded — n! candidates)."""
+    if not rankings:
+        raise ValueError("need at least one ranking")
+    n = len(rankings[0])
+    if n > _EXACT_LIMIT:
+        raise ValueError(
+            f"exact Kemeny is factorial; refusing n={n} > {_EXACT_LIMIT} "
+            "(use kwiksort_aggregate)"
+        )
+    w = pairwise_preference_matrix(rankings)
+    best: Ranking | None = None
+    best_cost = None
+    for candidate in all_rankings(n):
+        cost = kemeny_objective_from_matrix(candidate, w)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = candidate, cost
+    assert best is not None
+    return best
+
+
+def kwiksort_aggregate(rankings: Sequence[Ranking], seed: SeedLike = None) -> Ranking:
+    """KwikSort approximation to Kemeny: randomized quicksort by majority."""
+    if not rankings:
+        raise ValueError("need at least one ranking")
+    rng = as_generator(seed)
+    w = pairwise_preference_matrix(rankings)
+    items = list(range(len(rankings[0])))
+    ordered = _kwiksort(items, w, rng)
+    return Ranking(np.array(ordered, dtype=np.int64))
+
+
+def _kwiksort(items: list[int], w: np.ndarray, rng: np.random.Generator) -> list[int]:
+    if len(items) <= 1:
+        return items
+    pivot = items[int(rng.integers(0, len(items)))]
+    left = [i for i in items if i != pivot and w[i, pivot] > w[pivot, i]]
+    right = [i for i in items if i != pivot and w[i, pivot] <= w[pivot, i]]
+    return _kwiksort(left, w, rng) + [pivot] + _kwiksort(right, w, rng)

@@ -1,0 +1,45 @@
+"""Pairwise-preference machinery shared by the aggregation rules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import LengthMismatchError
+from repro.rankings.distances import kendall_tau_distance
+from repro.rankings.permutation import Ranking
+
+
+def pairwise_preference_matrix(rankings: Sequence[Ranking]) -> np.ndarray:
+    """``W[i, j]`` = number of input rankings placing item ``i`` before ``j``.
+
+    The diagonal is zero and ``W[i, j] + W[j, i] = len(rankings)`` off the
+    diagonal.
+    """
+    if not rankings:
+        raise ValueError("need at least one ranking")
+    n = len(rankings[0])
+    w = np.zeros((n, n), dtype=np.int64)
+    for r in rankings:
+        if len(r) != n:
+            raise LengthMismatchError("all rankings must have the same length")
+        pos = r.positions
+        w += (pos[:, None] < pos[None, :]).astype(np.int64)
+    np.fill_diagonal(w, 0)
+    return w
+
+
+def total_kendall_tau(candidate: Ranking, rankings: Sequence[Ranking]) -> int:
+    """Total KT distance from ``candidate`` to all input rankings — the
+    Kemeny objective."""
+    return sum(kendall_tau_distance(candidate, r) for r in rankings)
+
+
+def kemeny_objective_from_matrix(candidate: Ranking, w: np.ndarray) -> int:
+    """Kemeny objective evaluated from a precomputed preference matrix:
+    for each ordered pair the candidate puts ``i`` before ``j``, it pays
+    ``W[j, i]`` (the rankings that disagree)."""
+    pos = candidate.positions
+    before = pos[:, None] < pos[None, :]
+    return int((w.T * before).sum())

@@ -1,0 +1,195 @@
+"""Exact DCG-optimal P-fair ranking by dynamic programming.
+
+The ILP of Section IV-B has special structure: the position discounts
+``c(j)`` are decreasing, so within each group the optimal solution places
+members in descending score order (exchange argument — swapping two
+same-group members to score order never decreases the objective).  The only
+real decision is therefore the *group sequence*: which group supplies each
+position.  A state is the vector of per-group counts after a prefix, and the
+two-sided bounds confine each group's count at prefix ``ℓ`` to a narrow
+band, so the state space stays small even for ``k = 100`` and noisy bounds.
+
+This solver is exact and independently verifies the MILP backend
+(:class:`~repro.algorithms.ilp.IlpFairRanking`); it is also much faster and
+is the recommended engine for large sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    FairRankingAlgorithm,
+    FairRankingProblem,
+    FairRankingResult,
+)
+from repro.algorithms.noise import integer_bounds, noisy_count_bounds
+from repro.exceptions import InfeasibleProblemError
+from repro.rankings.permutation import Ranking
+from repro.rankings.quality import position_discounts
+from repro.utils.rng import SeedLike, as_generator
+
+
+class DpFairRanking(FairRankingAlgorithm):
+    """DCG-maximizing fair ranking via group-count dynamic programming.
+
+    Parameters
+    ----------
+    noise_sigma:
+        Standard deviation of the folded-normal constraint relaxation
+        (the paper's noisy-ILP protocol); ``0`` solves the exact problem.
+    top_k:
+        When set, only the top ``k`` positions are optimized (the paper's
+        ILP selects ``k`` of ``d`` candidates via ``Σ_j x_ij ≤ 1``); the
+        remaining items are appended below in descending score order.
+        ``None`` (default) ranks everything.
+    """
+
+    def __init__(self, noise_sigma: float = 0.0, top_k: int | None = None):
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        if top_k is not None and top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        self.noise_sigma = float(noise_sigma)
+        self.top_k = top_k
+        suffix = f", sigma={self.noise_sigma:g}" if self.noise_sigma else ""
+        if top_k is not None:
+            suffix += f", top_k={top_k}"
+        self.name = f"dp-fair{suffix}"
+
+    def rank(self, problem: FairRankingProblem, seed: SeedLike = None) -> FairRankingResult:
+        """Solve for the exact optimum group sequence, then fill items."""
+        rng = as_generator(seed)
+        groups = problem.require_groups()
+        scores = problem.require_scores()
+        constraints = problem.require_constraints()
+        n = problem.n_items
+        k = n if self.top_k is None else min(self.top_k, n)
+
+        lower_f, upper_f = noisy_count_bounds(
+            constraints, k, self.noise_sigma, seed=rng
+        )
+        lower_m, upper_m = integer_bounds(lower_f, upper_f)
+        prefix, value = solve_group_dp(scores, groups, lower_m, upper_m, k=k)
+
+        order = _complete_order(prefix, scores, n)
+        return FairRankingResult(
+            ranking=Ranking(order),
+            algorithm=self.name,
+            metadata={"noise_sigma": self.noise_sigma, "dcg": value, "k": k},
+        )
+
+
+def _complete_order(prefix: np.ndarray, scores: np.ndarray, n: int) -> np.ndarray:
+    """Append the unselected items below ``prefix`` in descending score."""
+    if prefix.size == n:
+        return prefix
+    selected = np.zeros(n, dtype=bool)
+    selected[prefix] = True
+    rest = np.flatnonzero(~selected)
+    rest = rest[np.argsort(-scores[rest], kind="stable")]
+    return np.concatenate([prefix, rest])
+
+
+def solve_group_dp(
+    scores: np.ndarray,
+    groups,
+    lower_m: np.ndarray,
+    upper_m: np.ndarray,
+    k: int | None = None,
+) -> tuple[np.ndarray, float]:
+    """Core DP over group-count states.
+
+    Parameters
+    ----------
+    scores:
+        Per-item relevance.
+    groups:
+        :class:`GroupAssignment` of the items.
+    lower_m, upper_m:
+        Integer per-prefix count bounds, ``shape (k, g)`` — row ``ℓ-1``
+        bounds the counts in the length-``ℓ`` prefix.
+    k:
+        Number of positions to fill (default: all items).
+
+    Returns
+    -------
+    (order, dcg):
+        The optimal length-``k`` order array and its DCG value.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no count sequence satisfies the bounds.
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    n = k if k is not None else s.size
+    g = groups.n_groups
+    discounts = position_discounts(n)
+
+    # Members of each group in descending score order: the t-th placement of
+    # a group always takes its t-th best member.
+    member_scores: list[np.ndarray] = []
+    member_items: list[np.ndarray] = []
+    for gi in range(g):
+        members = np.flatnonzero(groups.indices == gi)
+        members = members[np.argsort(-s[members], kind="stable")]
+        member_items.append(members)
+        member_scores.append(s[members])
+    sizes = np.array([m.size for m in member_items])
+
+    # DP over states: counts tuple -> (value, parent_state, last_group).
+    current: dict[tuple[int, ...], float] = {tuple([0] * g): 0.0}
+    parents: list[dict[tuple[int, ...], tuple[tuple[int, ...], int]]] = []
+
+    for pos in range(n):
+        length = pos + 1
+        lower = lower_m[length - 1]
+        upper = upper_m[length - 1]
+        nxt: dict[tuple[int, ...], float] = {}
+        nxt_parent: dict[tuple[int, ...], tuple[tuple[int, ...], int]] = {}
+        disc = discounts[pos]
+        for state, value in current.items():
+            for gi in range(g):
+                c = state[gi]
+                if c >= sizes[gi] or c + 1 > upper[gi]:
+                    continue
+                new_state = state[:gi] + (c + 1,) + state[gi + 1 :]
+                # Lower bounds must hold for the *new* prefix; check all
+                # groups (cheap: g is small).
+                ok = True
+                for gj in range(g):
+                    if new_state[gj] < lower[gj]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                gain = value + member_scores[gi][c] * disc
+                if gain > nxt.get(new_state, -np.inf):
+                    nxt[new_state] = gain
+                    nxt_parent[new_state] = (state, gi)
+        if not nxt:
+            raise InfeasibleProblemError(
+                f"no feasible group sequence at prefix {length}"
+            )
+        current = nxt
+        parents.append(nxt_parent)
+
+    final_state = max(current, key=lambda st: current[st])
+    value = current[final_state]
+
+    # Reconstruct the group sequence backwards, then fill items forwards.
+    group_seq = np.empty(n, dtype=np.int64)
+    state = final_state
+    for pos in range(n - 1, -1, -1):
+        prev_state, gi = parents[pos][state]
+        group_seq[pos] = gi
+        state = prev_state
+
+    next_of = [0] * g
+    order = np.empty(n, dtype=np.int64)
+    for pos in range(n):
+        gi = int(group_seq[pos])
+        order[pos] = member_items[gi][next_of[gi]]
+        next_of[gi] += 1
+    return order, float(value)

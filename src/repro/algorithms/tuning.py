@@ -1,0 +1,114 @@
+"""Dispersion tuning — the paper's future-work knob, implemented.
+
+Two monotone relationships drive the method's fairness/efficiency trade-off:
+
+* expected NDCG of a Mallows sample **increases** with ``θ`` (less noise);
+* for an unfair centre, the expected Infeasible Index **increases** with
+  ``θ`` (more noise repairs more).
+
+Both tuners exploit the monotonicity with a sampled bisection: estimate the
+expectation at the midpoint from ``m`` Monte-Carlo draws and move the
+bracket.  Estimates are noisy, so the returned ``θ`` is approximate; the
+``m`` parameter trades precision for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.criteria import batch_infeasible_index
+from repro.fairness.constraints import FairnessConstraints
+from repro.groups.attributes import GroupAssignment
+from repro.mallows.sampling import sample_mallows_batch
+from repro.rankings.permutation import Ranking
+from repro.rankings.quality import idcg, position_discounts
+from repro.utils.rng import SeedLike, as_generator
+
+_THETA_HI = 20.0
+
+
+def _mean_ndcg(
+    center: Ranking,
+    scores: np.ndarray,
+    theta: float,
+    m: int,
+    rng: np.random.Generator,
+) -> float:
+    orders = sample_mallows_batch(center, theta, m, seed=rng)
+    n = len(center)
+    disc = position_discounts(n)
+    ideal = idcg(scores, n)
+    if ideal == 0.0:
+        return 1.0
+    return float((scores[orders] * disc[None, :]).sum(axis=1).mean() / ideal)
+
+
+def tune_theta_for_ndcg(
+    center: Ranking,
+    scores: np.ndarray,
+    target_ndcg: float,
+    m: int = 200,
+    iterations: int = 20,
+    seed: SeedLike = None,
+) -> float:
+    """Smallest ``θ`` whose expected sample NDCG reaches ``target_ndcg``.
+
+    Smaller ``θ`` means more randomization (better fairness robustness), so
+    the minimal ``θ`` meeting the efficiency target is the most-fair
+    admissible dispersion.
+    """
+    if not 0.0 < target_ndcg <= 1.0:
+        raise ValueError(f"target_ndcg must be in (0, 1], got {target_ndcg}")
+    rng = as_generator(seed)
+    scores = np.asarray(scores, dtype=np.float64)
+    if _mean_ndcg(center, scores, 0.0, m, rng) >= target_ndcg:
+        return 0.0
+    lo, hi = 0.0, _THETA_HI
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if _mean_ndcg(center, scores, mid, m, rng) >= target_ndcg:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def tune_theta_for_infeasible_index(
+    center: Ranking,
+    groups: GroupAssignment,
+    target_ii: float,
+    constraints: FairnessConstraints | None = None,
+    m: int = 200,
+    iterations: int = 20,
+    seed: SeedLike = None,
+) -> float:
+    """Largest ``θ`` whose expected sample Infeasible Index stays at or below
+    ``target_ii`` (w.r.t. the given groups).
+
+    Larger ``θ`` means higher efficiency, so the maximal ``θ`` meeting the
+    fairness target is the most-efficient admissible dispersion.  Useful when
+    the centre is unfair and randomization is the repair mechanism.
+    """
+    if target_ii < 0:
+        raise ValueError(f"target_ii must be non-negative, got {target_ii}")
+    rng = as_generator(seed)
+    if constraints is None:
+        constraints = FairnessConstraints.proportional(groups)
+
+    def mean_ii(theta: float) -> float:
+        orders = sample_mallows_batch(center, theta, m, seed=rng)
+        return float(batch_infeasible_index(orders, groups, constraints).mean())
+
+    if mean_ii(_THETA_HI) <= target_ii:
+        return _THETA_HI
+    if mean_ii(0.0) > target_ii:
+        # Even maximal noise cannot reach the target.
+        return 0.0
+    lo, hi = 0.0, _THETA_HI
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if mean_ii(mid) <= target_ii:
+            lo = mid
+        else:
+            hi = mid
+    return lo

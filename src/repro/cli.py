@@ -1,0 +1,117 @@
+"""Command-line interface: regenerate any paper artefact from a terminal.
+
+Examples
+--------
+::
+
+    repro-fair-ranking fig1
+    repro-fair-ranking fig5 --theta 1 --sigma 1
+    repro-fair-ranking all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import (
+    Fig1Config,
+    Fig2Config,
+    Fig34Config,
+    GermanCreditConfig,
+)
+from repro.experiments.fig1_infeasible import run_fig1
+from repro.experiments.fig2_central_ii import run_fig2
+from repro.experiments.fig34_tradeoff import run_fig34
+from repro.experiments.german_credit_exp import run_german_credit, run_table1
+from repro.experiments.runner import run_all
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fair-ranking",
+        description=(
+            "Reproduce the experiments of 'Fairness in Ranking: Robustness "
+            "through Randomization without the Protected Attribute' "
+            "(ICDE 2024)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Fig.1: Mallows noise vs Infeasible Index")
+    sub.add_parser("fig2", help="Fig.2: central-ranking II vs delta")
+    sub.add_parser("fig3", help="Fig.3: sample II vs theta, per delta")
+    sub.add_parser("fig4", help="Fig.4: sample NDCG vs theta, per delta")
+    sub.add_parser("table1", help="Table I: German Credit group distribution")
+
+    for fig in ("fig5", "fig6", "fig7"):
+        p = sub.add_parser(fig, help=f"{fig}: German Credit panel")
+        p.add_argument("--theta", type=float, default=0.5, help="Mallows dispersion")
+        p.add_argument(
+            "--sigma", type=float, default=0.0, help="constraint noise std-dev"
+        )
+        p.add_argument(
+            "--repeats", type=int, default=15, help="noisy-run repetitions"
+        )
+        p.add_argument(
+            "--milp",
+            action="store_true",
+            help="solve the ILP with HiGHS instead of the exact DP",
+        )
+
+    p_all = sub.add_parser("all", help="run every artefact")
+    p_all.add_argument(
+        "--fast", action="store_true", help="reduced Monte-Carlo settings"
+    )
+    p_all.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="also write each artefact to DIR as a .txt file plus an index",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "fig1":
+        print(run_fig1(Fig1Config()).to_text())
+    elif args.command == "fig2":
+        print(run_fig2(Fig2Config()).to_text())
+    elif args.command == "fig3":
+        print(run_fig34(Fig34Config()).to_text_fig3())
+    elif args.command == "fig4":
+        print(run_fig34(Fig34Config()).to_text_fig4())
+    elif args.command == "table1":
+        print(run_table1())
+    elif args.command in ("fig5", "fig6", "fig7"):
+        config = GermanCreditConfig(
+            theta=args.theta,
+            noise_sigma=args.sigma,
+            n_repeats=args.repeats,
+            use_milp=args.milp,
+        )
+        result = run_german_credit(config)
+        text = {
+            "fig5": result.to_text_fig5,
+            "fig6": result.to_text_fig6,
+            "fig7": result.to_text_fig7,
+        }[args.command]()
+        print(text)
+    elif args.command == "all":
+        reports = run_all(fast=args.fast, progress=lambda m: print(f"# {m}", file=sys.stderr))
+        for key, text in reports.items():
+            print(f"\n===== {key} =====")
+            print(text)
+        if args.output:
+            from repro.experiments.reporting import write_reports
+
+            paths = write_reports(reports, args.output)
+            print(f"\nwrote {len(paths)} files under {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Generic CSV ranking datasets.
+
+Real deployments keep candidates in tabular files; this loader turns any
+CSV with a numeric score column and one or more categorical attribute
+columns into the library's native types, so the whole pipeline (weakly-fair
+input construction, post-processing, evaluation) applies to user data with
+one call.
+
+Only the standard library ``csv`` module is used — no pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.groups.attributes import GroupAssignment, combine_attributes
+
+
+@dataclass(frozen=True)
+class RankingDataset:
+    """A generic scored dataset with named protected attributes.
+
+    Attributes
+    ----------
+    scores:
+        Ranking score per row (higher is ranked earlier).
+    attributes:
+        Mapping from attribute name to its :class:`GroupAssignment`.
+    """
+
+    scores: np.ndarray
+    attributes: dict[str, GroupAssignment]
+
+    @property
+    def n_items(self) -> int:
+        """Number of rows."""
+        return int(self.scores.size)
+
+    def groups(self, *names: str) -> GroupAssignment:
+        """The assignment of one attribute, or the cross of several
+        (e.g. ``groups("sex", "age")`` for the paper's Sex−Age)."""
+        if not names:
+            raise DatasetError("need at least one attribute name")
+        parts = []
+        for name in names:
+            if name not in self.attributes:
+                known = ", ".join(sorted(self.attributes))
+                raise DatasetError(
+                    f"unknown attribute {name!r}; available: {known}"
+                )
+            parts.append(self.attributes[name])
+        if len(parts) == 1:
+            return parts[0]
+        return combine_attributes(*parts)
+
+
+def load_ranking_csv(
+    path: str,
+    score_column: str,
+    attribute_columns: Sequence[str],
+    delimiter: str = ",",
+) -> RankingDataset:
+    """Load a CSV into a :class:`RankingDataset`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    score_column:
+        Name of the numeric score column.
+    attribute_columns:
+        Names of the categorical protected-attribute columns.
+
+    Raises
+    ------
+    DatasetError
+        On a missing column, non-numeric score, or empty file.
+    """
+    if not attribute_columns:
+        raise DatasetError("need at least one attribute column")
+    scores: list[float] = []
+    attr_values: dict[str, list[str]] = {name: [] for name in attribute_columns}
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise DatasetError(f"{path}: no header row")
+        missing = [
+            col
+            for col in [score_column, *attribute_columns]
+            if col not in reader.fieldnames
+        ]
+        if missing:
+            raise DatasetError(
+                f"{path}: missing columns {missing}; header has {reader.fieldnames}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            raw = row[score_column]
+            try:
+                scores.append(float(raw))
+            except (TypeError, ValueError):
+                raise DatasetError(
+                    f"{path}:{line_no}: score {raw!r} is not numeric"
+                ) from None
+            for name in attribute_columns:
+                value = row[name]
+                if value is None or value == "":
+                    raise DatasetError(
+                        f"{path}:{line_no}: empty value for attribute {name!r}"
+                    )
+                attr_values[name].append(value)
+    if not scores:
+        raise DatasetError(f"{path}: no data rows")
+    return RankingDataset(
+        scores=np.asarray(scores, dtype=np.float64),
+        attributes={
+            name: GroupAssignment(values) for name, values in attr_values.items()
+        },
+    )
+
+
+def save_ranking_csv(
+    path: str,
+    dataset: RankingDataset,
+    score_column: str = "score",
+    delimiter: str = ",",
+) -> None:
+    """Write a :class:`RankingDataset` back to CSV (round-trips the loader)."""
+    names = sorted(dataset.attributes)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow([score_column, *names])
+        for i in range(dataset.n_items):
+            row = [repr(float(dataset.scores[i]))]
+            for name in names:
+                row.append(str(dataset.attributes[name].group_of(i)))
+            writer.writerow(row)

@@ -1,0 +1,157 @@
+"""Synthetic workloads of Sections V-A and V-B.
+
+* :func:`two_group_shifted_scores` — two equal groups of five candidates;
+  group 1 scores ``U(0, 1)``, group 2 scores ``U(δ, 1+δ)``.  Sweeping the
+  mean shift ``δ`` controls how segregated the score-sorted ranking is.
+* :func:`engineered_ranking_with_ii` — rankings of ten candidates in two
+  equal groups arranged to hit a target Infeasible Index (Section V-A's
+  "diverse values of the Infeasible Index").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.infeasible_index import infeasible_index
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking
+from repro.rankings.sorting import rank_by_score
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class TwoGroupSample:
+    """One draw of the Section V-B workload.
+
+    Attributes
+    ----------
+    scores:
+        Per-item scores (group 0 first, then group 1).
+    groups:
+        The two-group assignment.
+    ranking:
+        The score-sorted (descending) central ranking.
+    delta:
+        The mean shift between the two score distributions.
+    """
+
+    scores: np.ndarray
+    groups: GroupAssignment
+    ranking: Ranking
+    delta: float
+
+
+def two_group_shifted_scores(
+    delta: float,
+    group_size: int = 5,
+    seed: SeedLike = None,
+) -> TwoGroupSample:
+    """Draw the paper's two-group workload with mean shift ``delta``.
+
+    Group 0 items get ``U(0, 1)`` scores and group 1 items ``U(δ, 1+δ)``;
+    the returned ranking sorts all items by descending score.
+    """
+    if group_size < 1:
+        raise DatasetError(f"group_size must be >= 1, got {group_size}")
+    rng = as_generator(seed)
+    s1 = rng.uniform(0.0, 1.0, size=group_size)
+    s2 = rng.uniform(delta, 1.0 + delta, size=group_size)
+    scores = np.concatenate([s1, s2])
+    groups = GroupAssignment.from_indices(
+        np.concatenate([np.zeros(group_size, dtype=np.int64), np.ones(group_size, dtype=np.int64)])
+    )
+    return TwoGroupSample(
+        scores=scores,
+        groups=groups,
+        ranking=rank_by_score(scores),
+        delta=float(delta),
+    )
+
+
+def multi_group_scores(
+    group_sizes: list[int],
+    shifts: list[float],
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, GroupAssignment]:
+    """Generalization to ``g`` groups: group ``i`` gets ``U(shiftᵢ, 1+shiftᵢ)``
+    scores.  Returns ``(scores, groups)``."""
+    if len(group_sizes) != len(shifts):
+        raise DatasetError(
+            f"{len(group_sizes)} group sizes but {len(shifts)} shifts"
+        )
+    if not group_sizes or min(group_sizes) < 1:
+        raise DatasetError("every group must have at least one member")
+    rng = as_generator(seed)
+    parts = []
+    indices = []
+    for gi, (size, shift) in enumerate(zip(group_sizes, shifts)):
+        parts.append(rng.uniform(shift, 1.0 + shift, size=size))
+        indices.append(np.full(size, gi, dtype=np.int64))
+    return np.concatenate(parts), GroupAssignment.from_indices(np.concatenate(indices))
+
+
+def engineered_ranking_with_ii(
+    target_ii: int,
+    n: int = 10,
+    constraints: FairnessConstraints | None = None,
+) -> tuple[Ranking, GroupAssignment]:
+    """A ranking of ``n`` items in two equal groups whose Two-Sided
+    Infeasible Index (under proportional bounds) is as close as possible to
+    ``target_ii``.
+
+    The II of a two-group ranking depends only on its *group pattern* (which
+    positions hold which group), so for the paper's scale (``n = 10``,
+    ``C(10,5) = 252`` patterns) we search all patterns exhaustively and
+    realize the one whose II is nearest the target (ties broken toward the
+    lexicographically smallest pattern, making the output deterministic).
+
+    Raises
+    ------
+    DatasetError
+        If ``n`` is odd (the workload needs two equal groups) or too large
+        for the exhaustive pattern search.
+    """
+    if n < 2 or n % 2 != 0:
+        raise DatasetError(f"n must be even and >= 2, got {n}")
+    if n > 16:
+        raise DatasetError(
+            f"pattern search is exponential; n={n} > 16 not supported"
+        )
+    if target_ii < 0:
+        raise DatasetError(f"target_ii must be non-negative, got {target_ii}")
+    import itertools
+
+    half = n // 2
+    groups = GroupAssignment.from_indices(
+        np.array([i % 2 for i in range(n)], dtype=np.int64)
+    )
+    if constraints is None:
+        constraints = FairnessConstraints.proportional(groups)
+
+    evens = list(range(0, n, 2))  # group 0 members
+    odds = list(range(1, n, 2))   # group 1 members
+
+    best: tuple[int, Ranking] | None = None
+    for zero_positions in itertools.combinations(range(n), half):
+        order = np.empty(n, dtype=np.int64)
+        zero_set = set(zero_positions)
+        e = o = 0
+        for pos in range(n):
+            if pos in zero_set:
+                order[pos] = evens[e]
+                e += 1
+            else:
+                order[pos] = odds[o]
+                o += 1
+        ranking = Ranking(order)
+        ii = infeasible_index(ranking, groups, constraints)
+        if best is None or abs(ii - target_ii) < abs(best[0] - target_ii):
+            best = (ii, ranking)
+            if ii == target_ii:
+                break
+    assert best is not None
+    return best[1], groups

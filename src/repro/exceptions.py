@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidPermutationError(ReproError, ValueError):
+    """A sequence that was supposed to be a permutation of ``0..n-1`` is not."""
+
+
+class LengthMismatchError(ReproError, ValueError):
+    """Two rankings (or a ranking and a score/group vector) differ in length."""
+
+
+class InvalidConstraintError(ReproError, ValueError):
+    """Fairness constraint vectors are malformed (wrong size, out of range,
+    or lower bounds exceed upper bounds)."""
+
+
+class InfeasibleProblemError(ReproError, RuntimeError):
+    """No ranking satisfies the requested fairness constraints."""
+
+
+class GroupAssignmentError(ReproError, ValueError):
+    """A group assignment is malformed (e.g. empty, or labels of mixed
+    incompatible types)."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An optimization backend (MILP / matching / DP) failed unexpectedly."""
+
+
+class EstimationError(ReproError, RuntimeError):
+    """Parameter estimation (e.g. Mallows MLE) could not converge."""
+
+
+class DatasetError(ReproError, RuntimeError):
+    """A dataset could not be loaded or synthesized consistently."""

@@ -1,0 +1,126 @@
+"""Figures 3 & 4: the fairness/efficiency trade-off of Mallows sampling.
+
+Same workload as Figure 2; for each δ the score-sorted ranking is the
+Mallows centre and we sweep θ, measuring both the Infeasible Index (Fig. 3)
+and the NDCG (Fig. 4) of the samples.  As θ grows the samples converge to
+the centre, so the II converges to the centre's II and the NDCG to 1 —
+exposing the trade-off: more noise repairs fairness but costs NDCG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.criteria import batch_infeasible_index
+from repro.datasets.synthetic import two_group_shifted_scores
+from repro.experiments.config import Fig34Config
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.infeasible_index import infeasible_index
+from repro.mallows.sampling import sample_mallows_batch
+from repro.rankings.quality import idcg, position_discounts
+from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import format_series
+
+
+@dataclass(frozen=True)
+class Fig34Result:
+    """Per-δ, per-θ bootstrap means of sample II (Fig. 3) and NDCG (Fig. 4).
+
+    ``central_ii[delta]`` is the mean II of the central rankings themselves
+    (the red-line reference of the paper's subplots).
+    """
+
+    config: Fig34Config
+    central_ii: dict[float, float]
+    sample_ii: dict[float, dict[float, BootstrapResult]]
+    sample_ndcg: dict[float, dict[float, BootstrapResult]]
+
+    def to_text_fig3(self) -> str:
+        """Figure 3 (Infeasible Index) series, one block per δ."""
+        return self._to_text(self.sample_ii, "mean sample II [CI]", "Fig.3")
+
+    def to_text_fig4(self) -> str:
+        """Figure 4 (NDCG) series, one block per δ."""
+        return self._to_text(self.sample_ndcg, "mean sample NDCG [CI]", "Fig.4")
+
+    def _to_text(
+        self,
+        data: dict[float, dict[float, BootstrapResult]],
+        label: str,
+        fig: str,
+    ) -> str:
+        blocks = []
+        for delta, per_theta in data.items():
+            series = {
+                label: [(r.estimate, r.low, r.high) for r in per_theta.values()]
+            }
+            blocks.append(
+                format_series(
+                    [f"{t:g}" for t in per_theta],
+                    series,
+                    x_label="theta",
+                    title=(
+                        f"{fig} subplot: delta = {delta:g} "
+                        f"(central II = {self.central_ii[delta]:.2f})"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_fig34(config: Fig34Config = Fig34Config()) -> Fig34Result:
+    """Run the Figures 3–4 experiment under ``config``."""
+    rngs = spawn_generators(config.seed, len(config.deltas))
+    central_ii: dict[float, float] = {}
+    sample_ii: dict[float, dict[float, BootstrapResult]] = {}
+    sample_ndcg: dict[float, dict[float, BootstrapResult]] = {}
+
+    for delta, rng in zip(config.deltas, rngs):
+        ii_per_theta: dict[float, list[float]] = {t: [] for t in config.thetas}
+        ndcg_per_theta: dict[float, list[float]] = {t: [] for t in config.thetas}
+        central_iis: list[float] = []
+
+        for _ in range(config.n_trials):
+            sample = two_group_shifted_scores(
+                delta, group_size=config.group_size, seed=rng
+            )
+            constraints = FairnessConstraints.proportional(sample.groups)
+            central_iis.append(
+                infeasible_index(sample.ranking, sample.groups, constraints)
+            )
+            n = len(sample.ranking)
+            disc = position_discounts(n)
+            ideal = idcg(sample.scores, n)
+            for theta in config.thetas:
+                orders = sample_mallows_batch(
+                    sample.ranking, theta, config.samples_per_trial, seed=rng
+                )
+                iis = batch_infeasible_index(orders, sample.groups, constraints)
+                ii_per_theta[theta].append(float(iis.mean()))
+                gains = (sample.scores[orders] * disc[None, :]).sum(axis=1)
+                ndcgs = gains / ideal if ideal > 0 else np.ones(len(gains))
+                ndcg_per_theta[theta].append(float(ndcgs.mean()))
+
+        central_ii[delta] = float(np.mean(central_iis))
+        sample_ii[delta] = {
+            t: bootstrap_ci(
+                np.array(v), n_resamples=config.n_bootstrap, seed=rng
+            )
+            for t, v in ii_per_theta.items()
+        }
+        sample_ndcg[delta] = {
+            t: bootstrap_ci(
+                np.array(v), n_resamples=config.n_bootstrap, seed=rng
+            )
+            for t, v in ndcg_per_theta.items()
+        }
+
+    return Fig34Result(
+        config=config,
+        central_ii=central_ii,
+        sample_ii=sample_ii,
+        sample_ndcg=sample_ndcg,
+    )

@@ -1,0 +1,171 @@
+"""Fairness/efficiency trade-off frontiers.
+
+The paper's Figs. 3–4 show the two halves of the trade-off separately; this
+module computes them jointly: for a grid of dispersions θ it estimates
+``(E[II], E[NDCG])`` of Mallows randomization around a centre and extracts
+the Pareto-efficient points — the menu of operating points a deployment can
+choose from, with the θ that realizes each.
+
+Also supports the exposure variant: ``(exposure parity gap, NDCG)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.criteria import batch_infeasible_index
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.exposure import group_exposures
+from repro.groups.attributes import GroupAssignment
+from repro.mallows.sampling import sample_mallows_batch
+from repro.rankings.permutation import Ranking
+from repro.rankings.quality import idcg, position_discounts
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One operating point of the randomization trade-off.
+
+    Attributes
+    ----------
+    theta:
+        Dispersion realizing the point.
+    unfairness:
+        Mean Infeasible Index (or exposure parity gap) of samples.
+    ndcg:
+        Mean NDCG of samples.
+    pareto:
+        Whether no other grid point is at least as good on both axes and
+        strictly better on one.
+    """
+
+    theta: float
+    unfairness: float
+    ndcg: float
+    pareto: bool
+
+
+@dataclass(frozen=True)
+class TradeoffFrontier:
+    """A sweep of :class:`FrontierPoint` over a θ grid."""
+
+    points: tuple[FrontierPoint, ...]
+    metric: str
+
+    def pareto_points(self) -> list[FrontierPoint]:
+        """The Pareto-efficient subset, sorted by θ."""
+        return [p for p in self.points if p.pareto]
+
+    def best_theta(self, max_unfairness: float) -> float | None:
+        """Largest θ (most efficiency) whose unfairness meets the budget,
+        or ``None`` if no grid point qualifies."""
+        feasible = [p for p in self.points if p.unfairness <= max_unfairness]
+        if not feasible:
+            return None
+        return max(feasible, key=lambda p: p.theta).theta
+
+    def to_text(self) -> str:
+        """Render the frontier as an aligned table."""
+        rows = [
+            [
+                f"{p.theta:g}",
+                float(p.unfairness),
+                float(p.ndcg),
+                "*" if p.pareto else "",
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            ["theta", self.metric, "mean NDCG", "pareto"],
+            rows,
+            title=f"Fairness/efficiency frontier ({self.metric} vs NDCG)",
+        )
+
+
+def _mark_pareto(unfairness: np.ndarray, ndcg: np.ndarray) -> np.ndarray:
+    """Pareto mask for (minimize unfairness, maximize NDCG)."""
+    n = unfairness.size
+    pareto = np.ones(n, dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            dominates = (
+                unfairness[j] <= unfairness[i]
+                and ndcg[j] >= ndcg[i]
+                and (unfairness[j] < unfairness[i] or ndcg[j] > ndcg[i])
+            )
+            if dominates:
+                pareto[i] = False
+                break
+    return pareto
+
+
+def compute_tradeoff_frontier(
+    center: Ranking,
+    scores: Sequence[float],
+    groups: GroupAssignment,
+    constraints: FairnessConstraints | None = None,
+    thetas: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0),
+    m: int = 400,
+    metric: str = "infeasible-index",
+    seed: SeedLike = None,
+) -> TradeoffFrontier:
+    """Sweep θ and estimate the (unfairness, NDCG) frontier.
+
+    Parameters
+    ----------
+    metric:
+        ``"infeasible-index"`` (mean Two-Sided II of samples) or
+        ``"exposure-gap"`` (mean max−min group exposure).
+    """
+    if metric not in ("infeasible-index", "exposure-gap"):
+        raise ValueError(f"unknown metric {metric!r}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    rng = as_generator(seed)
+    s = np.asarray(scores, dtype=np.float64)
+    n = len(center)
+    if constraints is None:
+        constraints = FairnessConstraints.proportional(groups)
+    disc = position_discounts(n)
+    ideal = idcg(s, n)
+
+    unfairness = np.empty(len(thetas))
+    mean_ndcg = np.empty(len(thetas))
+    for t, theta in enumerate(thetas):
+        orders = sample_mallows_batch(center, theta, m, seed=rng)
+        if metric == "infeasible-index":
+            unfairness[t] = float(
+                batch_infeasible_index(orders, groups, constraints).mean()
+            )
+        else:
+            gaps = np.empty(m)
+            for i, row in enumerate(orders):
+                e = group_exposures(Ranking(row), groups)
+                nonempty = groups.group_sizes > 0
+                gaps[i] = e[nonempty].max() - e[nonempty].min()
+            unfairness[t] = float(gaps.mean())
+        if ideal == 0.0:
+            mean_ndcg[t] = 1.0
+        else:
+            mean_ndcg[t] = float(
+                ((s[orders] * disc[None, :]).sum(axis=1) / ideal).mean()
+            )
+
+    pareto = _mark_pareto(unfairness, mean_ndcg)
+    points = tuple(
+        FrontierPoint(
+            theta=float(theta),
+            unfairness=float(unfairness[t]),
+            ndcg=float(mean_ndcg[t]),
+            pareto=bool(pareto[t]),
+        )
+        for t, theta in enumerate(thetas)
+    )
+    return TradeoffFrontier(points=points, metric=metric)

@@ -1,0 +1,49 @@
+"""Persisting experiment reports.
+
+The experiment result objects render themselves as text; this module writes
+a collection of reports to disk as individual ``.txt`` artefacts plus a
+combined markdown index — the format used for the repository's
+``EXPERIMENTS.md`` bookkeeping and by the CLI's ``--output`` option.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+
+def write_reports(
+    reports: Mapping[str, str],
+    output_dir: str,
+    index_name: str = "INDEX.md",
+) -> list[str]:
+    """Write each report to ``<output_dir>/<key>.txt`` plus a markdown index.
+
+    Returns the list of file paths written (index last).  The directory is
+    created if needed; existing files are overwritten.
+    """
+    os.makedirs(output_dir, exist_ok=True)
+    written: list[str] = []
+    for key, text in reports.items():
+        safe = _safe_filename(key)
+        path = os.path.join(output_dir, f"{safe}.txt")
+        with open(path, "w") as f:
+            f.write(text.rstrip("\n") + "\n")
+        written.append(path)
+
+    index_path = os.path.join(output_dir, index_name)
+    with open(index_path, "w") as f:
+        f.write("# Reproduced artefacts\n\n")
+        for key in reports:
+            f.write(f"- [`{key}`]({_safe_filename(key)}.txt)\n")
+    written.append(index_path)
+    return written
+
+
+def _safe_filename(key: str) -> str:
+    """Sanitize a report key into a portable file name."""
+    out = []
+    for ch in key:
+        out.append(ch if ch.isalnum() or ch in "-_." else "_")
+    name = "".join(out).strip("._")
+    return name or "report"

@@ -1,0 +1,166 @@
+"""Greedy construction of (weakly) p-fair rankings.
+
+The paper's German Credit experiment feeds every algorithm "a weakly-p-fair
+ranking of candidates ordered by their descending score".
+:func:`weakly_fair_ranking` builds such a ranking greedily: walk positions
+top-down and place the highest-scored item whose group keeps the schedule
+*feasible*.
+
+Feasibility is more subtle than "no bound violated right now": two groups'
+floors may rise at the same future prefix, so the greedy verifies a Hall-type
+condition before each placement — for every future horizon ``h``,
+
+* the total outstanding floor demand at ``h`` fits in the remaining slots,
+  and
+* the upper bounds at ``h`` leave enough *capacity* to fill all slots.
+
+Within each group the ``t``-th placement's floor deadline and upper-bound
+release are monotone in ``t``, so the per-horizon conditions are sufficient
+(Hall's theorem for interval bipartite graphs) and the greedy never dead-ends
+on a feasible instance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InfeasibleProblemError
+from repro.fairness.constraints import FairnessConstraints
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking
+from repro.utils.validation import check_same_length
+
+
+def weakly_fair_ranking(
+    scores: Sequence[float],
+    groups: GroupAssignment,
+    constraints: FairnessConstraints | None = None,
+    strong: bool = True,
+) -> Ranking:
+    """Greedy score-descending ranking respecting prefix representation bounds.
+
+    Parameters
+    ----------
+    scores:
+        Relevance score per item; higher is better.
+    groups:
+        Protected-group assignment of the items.
+    constraints:
+        Two-sided bounds; defaults to proportional bounds from ``groups``.
+    strong:
+        When ``True`` (default) every prefix is kept within bounds
+        (feasibility-checked, exact); when ``False`` the bounds are treated
+        as soft — the greedy prefers feasible placements but falls back to
+        the best-scored available item instead of raising.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        In strong mode, if no ranking can satisfy every prefix bound.
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    check_same_length(s, groups.indices, "scores and group assignment")
+    n = s.size
+    g = groups.n_groups
+
+    if constraints is None:
+        constraints = FairnessConstraints.proportional(groups)
+
+    # Per-group queues of items in descending score order.
+    queues: list[np.ndarray] = []
+    for gi in range(g):
+        members = np.flatnonzero(groups.indices == gi)
+        queues.append(members[np.argsort(-s[members], kind="stable")])
+    heads = np.zeros(g, dtype=np.int64)
+    sizes = np.array([q.size for q in queues], dtype=np.int64)
+
+    lower_m, upper_m = constraints.count_bounds_matrix(n)
+    # Floors can never exceed what the groups can supply; demanding more
+    # items than a group has is infeasible outright (strong mode).
+    if strong and np.any(lower_m > sizes[None, :]):
+        raise InfeasibleProblemError(
+            "a prefix floor demands more items than its group contains"
+        )
+
+    counts = np.zeros(g, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    horizons = np.arange(1, n + 1, dtype=np.int64)
+
+    for pos in range(n):
+        length = pos + 1
+        candidates = _feasible_groups(
+            counts, heads, sizes, lower_m, upper_m, horizons, length, n
+        )
+        if not candidates:
+            if strong:
+                raise InfeasibleProblemError(
+                    f"no feasible group for position {length}; "
+                    "constraints are infeasible"
+                )
+            # Soft mode: any group under its upper bound, else any group.
+            candidates = [
+                gi
+                for gi in range(g)
+                if heads[gi] < sizes[gi]
+                and counts[gi] + 1 <= upper_m[length - 1, gi]
+            ]
+            if not candidates:
+                candidates = [gi for gi in range(g) if heads[gi] < sizes[gi]]
+            if not candidates:
+                raise InfeasibleProblemError("ran out of items")
+
+        best_group = max(candidates, key=lambda gi: s[queues[gi][heads[gi]]])
+        order[pos] = queues[best_group][heads[best_group]]
+        heads[best_group] += 1
+        counts[best_group] += 1
+
+    return Ranking(order)
+
+
+def _feasible_groups(
+    counts: np.ndarray,
+    heads: np.ndarray,
+    sizes: np.ndarray,
+    lower_m: np.ndarray,
+    upper_m: np.ndarray,
+    horizons: np.ndarray,
+    length: int,
+    n: int,
+) -> list[int]:
+    """Groups whose placement at prefix ``length`` keeps the schedule feasible.
+
+    A group ``gi`` qualifies iff after incrementing its count:
+
+    * the bounds at the current prefix hold, and
+    * for every horizon ``h >= length``: outstanding floor demand
+      ``Σ_g max(0, lower[h] − counts)`` fits in ``h − length`` slots, and the
+      remaining capacity ``Σ_g min(remaining_g, upper[h] − counts)`` can fill
+      them.
+    """
+    g = counts.size
+    feasible: list[int] = []
+    future = slice(length - 1, n)
+    slots_after = horizons[future] - length  # 0 at the current prefix
+    for gi in range(g):
+        if heads[gi] >= sizes[gi]:
+            continue
+        trial = counts.copy()
+        trial[gi] += 1
+        if trial[gi] > upper_m[length - 1, gi]:
+            continue
+        if np.any(trial < lower_m[length - 1]):
+            continue
+        remaining = sizes - trial
+        demand = np.maximum(lower_m[future] - trial[None, :], 0).sum(axis=1)
+        if np.any(demand > slots_after):
+            continue
+        capacity = np.minimum(
+            np.maximum(upper_m[future] - trial[None, :], 0),
+            remaining[None, :],
+        ).sum(axis=1)
+        if np.any(capacity < slots_after):
+            continue
+        feasible.append(gi)
+    return feasible

@@ -1,0 +1,158 @@
+"""Exposure-based group fairness metrics.
+
+P-fairness counts heads; exposure-based fairness weighs *where* those heads
+sit: an item at position ``j`` receives exposure ``1/log(1+j)`` (the DCG
+discount), and a group's exposure is the average over its members.  Two
+standard disparity notions are provided:
+
+* **Demographic parity of exposure** — each group's mean exposure should be
+  equal (exposure independent of group membership);
+* **Disparate treatment** — each group's mean exposure should be
+  proportional to its mean relevance (exposure earned by merit, equally
+  exchanged across groups).
+
+These complement the paper's Infeasible Index in the robustness evaluation:
+a ranking can be P-fair by counts yet concentrate one group at the bottom
+of every feasible band, which exposure disparity detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking
+from repro.rankings.quality import exposure
+from repro.utils.validation import check_same_length
+
+
+def group_exposures(
+    ranking: Ranking, groups: GroupAssignment, k: int | None = None
+) -> np.ndarray:
+    """Mean exposure of each group's members, ``shape (g,)``.
+
+    Groups with no members get exposure 0 (they cannot be exposed at all).
+    """
+    check_same_length(ranking.order, groups.indices, "ranking and groups")
+    item_exposure = exposure(ranking, k=k)
+    g = groups.n_groups
+    totals = np.zeros(g, dtype=np.float64)
+    np.add.at(totals, groups.indices, item_exposure)
+    sizes = groups.group_sizes
+    out = np.zeros(g, dtype=np.float64)
+    nonempty = sizes > 0
+    out[nonempty] = totals[nonempty] / sizes[nonempty]
+    return out
+
+
+def exposure_parity_gap(
+    ranking: Ranking, groups: GroupAssignment, k: int | None = None
+) -> float:
+    """Demographic-parity gap: ``max_g E_g − min_g E_g`` over the mean
+    exposures of non-empty groups.  0 means perfectly equal exposure."""
+    exposures = group_exposures(ranking, groups, k=k)
+    nonempty = groups.group_sizes > 0
+    values = exposures[nonempty]
+    if values.size <= 1:
+        return 0.0
+    return float(values.max() - values.min())
+
+
+def exposure_parity_ratio(
+    ranking: Ranking, groups: GroupAssignment, k: int | None = None
+) -> float:
+    """Min/max ratio of mean group exposures in ``[0, 1]``; 1 is parity.
+
+    Defined as 1.0 when fewer than two groups have members, and 0.0 when
+    some non-empty group receives zero exposure while another does not.
+    """
+    exposures = group_exposures(ranking, groups, k=k)
+    nonempty = groups.group_sizes > 0
+    values = exposures[nonempty]
+    if values.size <= 1:
+        return 1.0
+    top = float(values.max())
+    if top == 0.0:
+        return 1.0
+    return float(values.min() / top)
+
+
+@dataclass(frozen=True)
+class DisparateTreatmentResult:
+    """Exposure-to-relevance ratios per group and their disparity.
+
+    Attributes
+    ----------
+    exposure_per_relevance:
+        ``E_g / U_g`` per group (NaN for empty or zero-relevance groups).
+    ratio:
+        Min/max of the finite per-group ratios; 1 means exposure is
+        exchanged at the same rate for every group.
+    """
+
+    exposure_per_relevance: np.ndarray
+    ratio: float
+
+
+def disparate_treatment(
+    ranking: Ranking,
+    groups: GroupAssignment,
+    relevance: Sequence[float],
+    k: int | None = None,
+) -> DisparateTreatmentResult:
+    """Disparate-treatment analysis: exposure proportional to relevance.
+
+    Parameters
+    ----------
+    relevance:
+        Non-negative per-item relevance (e.g. the ranking scores).
+    """
+    rel = np.asarray(relevance, dtype=np.float64)
+    check_same_length(rel, groups.indices, "relevance and groups")
+    if np.any(rel < 0):
+        raise ValueError("relevance must be non-negative")
+    exposures = group_exposures(ranking, groups, k=k)
+
+    g = groups.n_groups
+    mean_rel = np.zeros(g, dtype=np.float64)
+    totals = np.zeros(g, dtype=np.float64)
+    np.add.at(totals, groups.indices, rel)
+    sizes = groups.group_sizes
+    nonempty = sizes > 0
+    mean_rel[nonempty] = totals[nonempty] / sizes[nonempty]
+
+    ratios = np.full(g, np.nan)
+    valid = nonempty & (mean_rel > 0)
+    ratios[valid] = exposures[valid] / mean_rel[valid]
+
+    finite = ratios[np.isfinite(ratios)]
+    if finite.size <= 1 or finite.max() == 0.0:
+        overall = 1.0
+    else:
+        overall = float(finite.min() / finite.max())
+    return DisparateTreatmentResult(exposure_per_relevance=ratios, ratio=overall)
+
+
+def expected_exposure_under_mallows(
+    center: Ranking,
+    theta: float,
+    groups: GroupAssignment,
+    m: int = 500,
+    k: int | None = None,
+    seed=None,
+) -> np.ndarray:
+    """Monte-Carlo mean group exposure under Mallows randomization.
+
+    Quantifies how much exposure the noise redistributes between groups —
+    the exposure-level counterpart of the paper's Infeasible Index plots.
+    """
+    from repro.mallows.sampling import sample_mallows_batch
+
+    orders = sample_mallows_batch(center, theta, m, seed=seed)
+    totals = np.zeros(groups.n_groups, dtype=np.float64)
+    for row in orders:
+        totals += group_exposures(Ranking(row), groups, k=k)
+    return totals / max(m, 1)

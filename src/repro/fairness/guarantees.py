@@ -1,0 +1,153 @@
+"""Statistical fairness guarantees for Mallows randomization.
+
+The paper argues qualitatively that Mallows noise yields approximate
+P-fairness against any sufficiently large group.  This module makes the
+claim quantitative and checkable:
+
+* :func:`estimate_fairness_probability` — Monte-Carlo estimate (with a
+  Clopper–Pearson-style exact CI via the Beta quantiles) of the probability
+  that a Mallows sample meets a fairness predicate;
+* :func:`infeasible_index_tail_bound` — a distribution-free Markov tail
+  bound on the sample's Infeasible Index from its exact expectation
+  (computable by Monte Carlo);
+* :func:`sample_budget_for_confidence` — how many samples ``m`` Algorithm 1
+  needs so that, with probability ``1 − δ``, at least one sample satisfies
+  the predicate (the best-of-m amplification the paper exploits with
+  ``m = 15``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats
+
+from repro.algorithms.criteria import batch_infeasible_index
+from repro.fairness.constraints import FairnessConstraints
+from repro.groups.attributes import GroupAssignment
+from repro.mallows.sampling import sample_mallows_batch
+from repro.rankings.permutation import Ranking
+from repro.utils.rng import SeedLike, as_generator
+
+Predicate = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ProbabilityEstimate:
+    """Monte-Carlo probability with an exact binomial confidence interval.
+
+    Attributes
+    ----------
+    estimate:
+        Empirical success fraction.
+    low, high:
+        Clopper–Pearson interval endpoints at the given confidence.
+    n_samples:
+        Monte-Carlo sample count.
+    confidence:
+        Nominal two-sided coverage.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    n_samples: int
+    confidence: float
+
+
+def _clopper_pearson(successes: int, n: int, confidence: float) -> tuple[float, float]:
+    """Exact binomial CI via Beta quantiles."""
+    alpha = 1.0 - confidence
+    low = 0.0 if successes == 0 else float(
+        stats.beta.ppf(alpha / 2, successes, n - successes + 1)
+    )
+    high = 1.0 if successes == n else float(
+        stats.beta.ppf(1 - alpha / 2, successes + 1, n - successes)
+    )
+    return low, high
+
+
+def estimate_fairness_probability(
+    center: Ranking,
+    theta: float,
+    groups: GroupAssignment,
+    constraints: FairnessConstraints | None = None,
+    max_infeasible_index: int = 0,
+    m: int = 2000,
+    confidence: float = 0.95,
+    seed: SeedLike = None,
+) -> ProbabilityEstimate:
+    """P[ II(sample) <= max_infeasible_index ] under ``M(center, θ)``.
+
+    ``max_infeasible_index = 0`` is the probability of exact two-sided
+    P-fairness at every prefix.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = as_generator(seed)
+    if constraints is None:
+        constraints = FairnessConstraints.proportional(groups)
+    orders = sample_mallows_batch(center, theta, m, seed=rng)
+    iis = batch_infeasible_index(orders, groups, constraints)
+    successes = int((iis <= max_infeasible_index).sum())
+    low, high = _clopper_pearson(successes, m, confidence)
+    return ProbabilityEstimate(
+        estimate=successes / m,
+        low=low,
+        high=high,
+        n_samples=m,
+        confidence=confidence,
+    )
+
+
+def expected_infeasible_index(
+    center: Ranking,
+    theta: float,
+    groups: GroupAssignment,
+    constraints: FairnessConstraints | None = None,
+    m: int = 2000,
+    seed: SeedLike = None,
+) -> float:
+    """Monte-Carlo ``E[II(sample)]`` under ``M(center, θ)``."""
+    rng = as_generator(seed)
+    if constraints is None:
+        constraints = FairnessConstraints.proportional(groups)
+    orders = sample_mallows_batch(center, theta, m, seed=rng)
+    return float(batch_infeasible_index(orders, groups, constraints).mean())
+
+
+def infeasible_index_tail_bound(expected_ii: float, threshold: float) -> float:
+    """Markov bound ``P[II >= threshold] <= E[II] / threshold``.
+
+    Distribution-free: it holds for any randomization whose expected II is
+    ``expected_ii``.  Clipped to 1.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if expected_ii < 0:
+        raise ValueError(f"expected_ii must be non-negative, got {expected_ii}")
+    return min(1.0, expected_ii / threshold)
+
+
+def sample_budget_for_confidence(per_sample_probability: float, delta: float) -> int:
+    """Smallest ``m`` with ``1 − (1 − p)^m >= 1 − δ``.
+
+    The best-of-m amplification of Algorithm 1: if each Mallows sample
+    satisfies the fairness predicate with probability ``p``, drawing
+    ``m = ⌈ln δ / ln(1 − p)⌉`` samples guarantees one success with
+    probability ``1 − δ``.
+    """
+    if not 0.0 < per_sample_probability <= 1.0:
+        raise ValueError(
+            f"per-sample probability must be in (0, 1], got {per_sample_probability}"
+        )
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if per_sample_probability == 1.0:
+        return 1
+    return max(1, math.ceil(math.log(delta) / math.log(1.0 - per_sample_probability)))

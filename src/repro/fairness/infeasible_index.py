@@ -1,0 +1,119 @@
+"""The Two-Sided Infeasible Index and Percentage of P-Fair Positions
+(Definitions 3 and 4 of the paper).
+
+``LowerViol`` counts prefixes where some group falls below its floor,
+``UpperViol`` counts prefixes where some group exceeds its ceiling, and the
+Two-Sided Infeasible Index is their sum.  ``PPfair`` converts the index into
+the percentage of positions that satisfy P-fairness.
+
+Note that a single prefix can contribute to *both* a lower and an upper
+violation (when one group is under-represented another is necessarily
+over-represented if the bounds are tight), so ``TwoSidedInfInd`` can exceed
+the ranking length; ``percent_fair_positions`` instead counts prefixes with
+*any* violation, keeping the percentage within ``[0, 100]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fairness.checks import prefix_group_counts
+from repro.fairness.constraints import FairnessConstraints
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking
+
+
+@dataclass(frozen=True)
+class InfeasibleIndexBreakdown:
+    """Violation counts for one ranking.
+
+    Attributes
+    ----------
+    lower:
+        Prefixes where some group has fewer than ``⌊β_i ℓ⌋`` members.
+    upper:
+        Prefixes where some group has more than ``⌈α_i ℓ⌉`` members.
+    either:
+        Prefixes violating at least one side (``<= lower + upper``).
+    n_positions:
+        Ranking length (number of prefixes considered).
+    """
+
+    lower: int
+    upper: int
+    either: int
+    n_positions: int
+
+    @property
+    def two_sided(self) -> int:
+        """The paper's ``TwoSidedInfInd = LowerViol + UpperViol``."""
+        return self.lower + self.upper
+
+    @property
+    def percent_fair(self) -> float:
+        """Percentage of positions with no violation of either side."""
+        if self.n_positions == 0:
+            return 100.0
+        return 100.0 * (1.0 - self.either / self.n_positions)
+
+
+def _violation_masks(
+    ranking: Ranking,
+    groups: GroupAssignment,
+    constraints: FairnessConstraints,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Boolean per-prefix masks ``(lower_violated, upper_violated)``."""
+    n = len(ranking)
+    counts = prefix_group_counts(ranking, groups)
+    lower, upper = constraints.count_bounds_matrix(n)
+    lower_violated = (counts < lower).any(axis=1)
+    upper_violated = (counts > upper).any(axis=1)
+    return lower_violated, upper_violated
+
+
+def infeasible_index_breakdown(
+    ranking: Ranking,
+    groups: GroupAssignment,
+    constraints: FairnessConstraints,
+) -> InfeasibleIndexBreakdown:
+    """Full violation breakdown for ``ranking``."""
+    lo, up = _violation_masks(ranking, groups, constraints)
+    return InfeasibleIndexBreakdown(
+        lower=int(lo.sum()),
+        upper=int(up.sum()),
+        either=int((lo | up).sum()),
+        n_positions=len(ranking),
+    )
+
+
+def lower_violations(
+    ranking: Ranking, groups: GroupAssignment, constraints: FairnessConstraints
+) -> int:
+    """``LowerViol(π)``: prefixes where some group is under its floor."""
+    lo, _ = _violation_masks(ranking, groups, constraints)
+    return int(lo.sum())
+
+
+def upper_violations(
+    ranking: Ranking, groups: GroupAssignment, constraints: FairnessConstraints
+) -> int:
+    """``UpperViol(π)``: prefixes where some group is over its ceiling."""
+    _, up = _violation_masks(ranking, groups, constraints)
+    return int(up.sum())
+
+
+def infeasible_index(
+    ranking: Ranking, groups: GroupAssignment, constraints: FairnessConstraints
+) -> int:
+    """Two-Sided Infeasible Index ``= LowerViol + UpperViol`` (Definition 3)."""
+    return infeasible_index_breakdown(ranking, groups, constraints).two_sided
+
+
+def percent_fair_positions(
+    ranking: Ranking, groups: GroupAssignment, constraints: FairnessConstraints
+) -> float:
+    """``PPfair``: percentage of positions whose prefix satisfies P-fairness
+    on both sides (Definition 4)."""
+    return infeasible_index_breakdown(ranking, groups, constraints).percent_fair

@@ -1,0 +1,14 @@
+"""Protected-attribute layer: group assignments and proportion vectors."""
+
+from repro.groups.attributes import GroupAssignment, combine_attributes
+from repro.groups.proportions import (
+    proportional_bounds,
+    relaxed_proportional_bounds,
+)
+
+__all__ = [
+    "GroupAssignment",
+    "combine_attributes",
+    "proportional_bounds",
+    "relaxed_proportional_bounds",
+]

@@ -1,0 +1,166 @@
+"""Group assignments: which protected group each item belongs to.
+
+A :class:`GroupAssignment` maps each of ``n`` items to one of ``g`` groups.
+Group labels may be arbitrary hashables (strings like ``"<35-female"`` or
+ints); internally items are stored as dense group indices ``0..g-1`` so that
+fairness computations are vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GroupAssignmentError
+
+
+class GroupAssignment:
+    """Assignment of ``n`` items to ``g`` protected groups.
+
+    Parameters
+    ----------
+    labels:
+        One group label per item.  Labels may be any hashable; the distinct
+        labels are sorted (by string representation) to obtain a stable
+        group indexing.
+
+    Examples
+    --------
+    >>> ga = GroupAssignment(["a", "b", "a", "a"])
+    >>> ga.n_groups
+    2
+    >>> ga.group_sizes.tolist()
+    [3, 1]
+    """
+
+    __slots__ = ("_indices", "_labels", "_label_to_index")
+
+    def __init__(self, labels: Sequence[Hashable]):
+        labels = list(labels)
+        if not labels:
+            raise GroupAssignmentError("group assignment cannot be empty")
+        distinct = sorted(set(labels), key=lambda x: (str(type(x)), str(x)))
+        self._labels: tuple[Hashable, ...] = tuple(distinct)
+        self._label_to_index = {lab: i for i, lab in enumerate(self._labels)}
+        self._indices = np.array(
+            [self._label_to_index[lab] for lab in labels], dtype=np.int64
+        )
+        self._indices.setflags(write=False)
+
+    @classmethod
+    def from_indices(cls, indices: Sequence[int] | np.ndarray, n_groups: int | None = None) -> "GroupAssignment":
+        """Build from dense group indices ``0..g-1``.
+
+        ``n_groups`` may declare trailing empty groups (indices never used);
+        this matters when constraints are defined for groups that happen to
+        be absent from a particular sample.
+        """
+        arr = np.asarray(indices, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise GroupAssignmentError(
+                f"indices must be a non-empty 1-D array, got shape {arr.shape}"
+            )
+        if arr.min() < 0:
+            raise GroupAssignmentError("group indices must be non-negative")
+        g = int(arr.max()) + 1 if n_groups is None else int(n_groups)
+        if arr.max() >= g:
+            raise GroupAssignmentError(
+                f"index {int(arr.max())} out of range for {g} groups"
+            )
+        obj = cls.__new__(cls)
+        obj._labels = tuple(range(g))
+        obj._label_to_index = {i: i for i in range(g)}
+        idx = arr.copy()
+        idx.setflags(write=False)
+        obj._indices = idx
+        return obj
+
+    # -- basic views -----------------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        """Number of items."""
+        return int(self._indices.size)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct groups ``g``."""
+        return len(self._labels)
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        """Group labels in index order."""
+        return self._labels
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only dense group index of each item."""
+        return self._indices
+
+    @property
+    def group_sizes(self) -> np.ndarray:
+        """Size of each group, ``shape (g,)``."""
+        return np.bincount(self._indices, minlength=self.n_groups)
+
+    @property
+    def proportions(self) -> np.ndarray:
+        """Fraction of items in each group, ``shape (g,)``."""
+        return self.group_sizes / self.n_items
+
+    def group_of(self, item: int) -> Hashable:
+        """Label of the group containing ``item``."""
+        return self._labels[int(self._indices[item])]
+
+    def index_of_label(self, label: Hashable) -> int:
+        """Dense index of a group label."""
+        try:
+            return self._label_to_index[label]
+        except KeyError:
+            raise GroupAssignmentError(f"unknown group label {label!r}") from None
+
+    def members(self, label: Hashable) -> np.ndarray:
+        """Items belonging to the group with the given label."""
+        return np.flatnonzero(self._indices == self.index_of_label(label))
+
+    def subset(self, items: Sequence[int] | np.ndarray) -> "GroupAssignment":
+        """Assignment restricted to ``items`` (re-indexed 0..len(items)-1),
+        keeping the full group space so constraint vectors stay aligned."""
+        items = np.asarray(items, dtype=np.int64)
+        return GroupAssignment.from_indices(self._indices[items], self.n_groups)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GroupAssignment):
+            return NotImplemented
+        return self._labels == other._labels and bool(
+            np.array_equal(self._indices, other._indices)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupAssignment(n_items={self.n_items}, n_groups={self.n_groups}, "
+            f"sizes={self.group_sizes.tolist()})"
+        )
+
+
+def combine_attributes(*assignments: GroupAssignment) -> GroupAssignment:
+    """Cross two or more attributes into one combined attribute.
+
+    The paper combines the binary ``Sex`` and ``Age`` attributes of German
+    Credit into a four-valued ``Sex−Age`` attribute; this helper generalizes
+    that construction.  The combined label of an item is the tuple of its
+    per-attribute labels.
+    """
+    if not assignments:
+        raise GroupAssignmentError("need at least one assignment to combine")
+    n = assignments[0].n_items
+    for a in assignments[1:]:
+        if a.n_items != n:
+            raise GroupAssignmentError(
+                "all assignments must cover the same items "
+                f"({n} vs {a.n_items})"
+            )
+    combined = [
+        tuple(a.group_of(i) for a in assignments) for i in range(n)
+    ]
+    return GroupAssignment(combined)

@@ -1,0 +1,46 @@
+"""Constructing (α, β) proportion vectors from group statistics.
+
+The paper's two-sided P-fairness bounds each group ``i`` in every prefix
+``P`` between ``⌊β_i·|P|⌋`` and ``⌈α_i·|P|⌉`` elements.  The natural choice,
+used throughout the experiments, sets both vectors to the groups' population
+proportions (``α = β = p``); :func:`relaxed_proportional_bounds` widens the
+band by a slack factor for applications that tolerate looser representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidConstraintError
+from repro.groups.attributes import GroupAssignment
+
+
+def proportional_bounds(groups: GroupAssignment) -> tuple[np.ndarray, np.ndarray]:
+    """``(alpha, beta)`` both equal to the group proportions.
+
+    With ``α = β = p`` the feasible count for group ``i`` in a prefix of
+    length ``ℓ`` is the integer band ``[⌊p_i·ℓ⌋, ⌈p_i·ℓ⌉]`` — proportional
+    representation up to rounding.
+    """
+    p = groups.proportions
+    return p.copy(), p.copy()
+
+
+def relaxed_proportional_bounds(
+    groups: GroupAssignment, slack: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Proportions widened by ``slack``: lower bounds scaled by ``1 − slack``
+    and upper bounds by ``1 + slack`` (clipped to ``[0, 1]``).
+
+    Parameters
+    ----------
+    slack:
+        Relative relaxation in ``[0, 1]``.  ``slack = 0`` reduces to
+        :func:`proportional_bounds`.
+    """
+    if not 0.0 <= slack <= 1.0:
+        raise InvalidConstraintError(f"slack must be in [0, 1], got {slack}")
+    p = groups.proportions
+    lower = np.clip(p * (1.0 - slack), 0.0, 1.0)
+    upper = np.clip(p * (1.0 + slack), 0.0, 1.0)
+    return upper, lower  # (alpha, beta) = (upper-rate, lower-rate)

@@ -1,0 +1,129 @@
+"""Alternative randomizers: MCMC Mallows for arbitrary distances, and the
+paper's future-work "other noise distributions" (Plackett–Luce noise,
+random adjacent swaps).
+
+The RIM sampler is exact but specific to the Kendall tau distance; the
+Metropolis sampler here targets ``P(π) ∝ exp(−θ·d(π, π₀))`` for *any*
+distance ``d`` using adjacent-transposition proposals (irreducible and
+symmetric on ``S_n``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.rankings.permutation import Ranking
+from repro.utils.rng import SeedLike, as_generator
+
+DistanceFn = Callable[[Ranking, Ranking], float]
+
+
+def sample_mallows_mcmc(
+    center: Ranking,
+    theta: float,
+    m: int,
+    distance: DistanceFn,
+    burn_in: int = 500,
+    thin: int = 10,
+    seed: SeedLike = None,
+) -> list[Ranking]:
+    """Metropolis sampling from ``P(π) ∝ exp(−θ·d(π, center))``.
+
+    Parameters
+    ----------
+    center, theta:
+        Model parameters; ``theta >= 0``.
+    m:
+        Number of (thinned) samples to return.
+    distance:
+        Any ranking distance, e.g. :func:`footrule_distance` or
+        :func:`ulam_distance`.
+    burn_in:
+        Steps discarded before collecting.
+    thin:
+        Steps between collected samples (reduces autocorrelation).
+    """
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    if m < 0:
+        raise ValueError(f"sample count must be non-negative, got {m}")
+    if burn_in < 0 or thin < 1:
+        raise ValueError("burn_in must be >= 0 and thin >= 1")
+    rng = as_generator(seed)
+    n = len(center)
+    if m == 0:
+        return []
+    if n < 2:
+        return [center] * m
+
+    current = center
+    current_d = 0.0
+    samples: list[Ranking] = []
+    total_steps = burn_in + m * thin
+    cut_points = rng.integers(0, n - 1, size=total_steps)
+    accept_u = rng.random(total_steps)
+
+    for step in range(total_steps):
+        j = int(cut_points[step])
+        proposal = current.swap_positions(j, j + 1)
+        prop_d = float(distance(proposal, center))
+        log_ratio = -theta * (prop_d - current_d)
+        if log_ratio >= 0 or accept_u[step] < np.exp(log_ratio):
+            current = proposal
+            current_d = prop_d
+        if step >= burn_in and (step - burn_in) % thin == thin - 1:
+            samples.append(current)
+    return samples
+
+
+def plackett_luce_noise(
+    center: Ranking,
+    strength: float,
+    m: int,
+    seed: SeedLike = None,
+) -> list[Ranking]:
+    """Plackett–Luce perturbation of a ranking.
+
+    Items get utilities decreasing geometrically with their central position
+    (``w_i = strength^{position}`` with ``strength ∈ (0, 1)``) and a PL
+    sample is drawn by Gumbel-max.  ``strength → 0`` concentrates on the
+    centre; ``strength → 1`` approaches uniform.
+    """
+    if not 0.0 < strength <= 1.0:
+        raise ValueError(f"strength must be in (0, 1], got {strength}")
+    if m < 0:
+        raise ValueError(f"sample count must be non-negative, got {m}")
+    rng = as_generator(seed)
+    n = len(center)
+    log_w = np.log(strength) * center.positions.astype(np.float64)
+    samples = []
+    for _ in range(m):
+        gumbel = rng.gumbel(size=n)
+        samples.append(Ranking(np.argsort(-(log_w + gumbel), kind="stable")))
+    return samples
+
+
+def random_adjacent_swaps(
+    center: Ranking,
+    n_swaps: int,
+    m: int,
+    seed: SeedLike = None,
+) -> list[Ranking]:
+    """Baseline noise: apply ``n_swaps`` uniformly random adjacent
+    transpositions to the centre, ``m`` independent times."""
+    if n_swaps < 0:
+        raise ValueError(f"n_swaps must be non-negative, got {n_swaps}")
+    if m < 0:
+        raise ValueError(f"sample count must be non-negative, got {m}")
+    rng = as_generator(seed)
+    n = len(center)
+    samples = []
+    for _ in range(m):
+        order = center.order.copy()
+        if n >= 2:
+            for j in rng.integers(0, n - 1, size=n_swaps):
+                order[j], order[j + 1] = order[j + 1], order[j]
+        samples.append(Ranking(order))
+    return samples

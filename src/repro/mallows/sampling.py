@@ -1,0 +1,112 @@
+"""Exact Mallows sampling via the Repeated Insertion Model (RIM).
+
+Doignon et al.'s RIM builds a Mallows sample by inserting the centre's items
+one at a time: when the ``(j+1)``-th item is inserted into the current list
+of ``j`` items, placing it ``v`` positions from the *end* adds exactly ``v``
+new discordant pairs, so drawing ``v`` from the truncated geometric
+``P(v) ∝ e^{−θ v}`` on ``{0..j}`` yields a draw whose total displacement is
+Mallows-distributed.  All the ``v`` draws are independent, which lets us
+vectorize them across a whole batch with one inverse-CDF transform.
+
+The list insertions themselves are done per-sample (``O(n²)`` worst case per
+sample) which is far from the bottleneck at the paper's scales (``n ≤ 100``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.rankings.permutation import Ranking
+from repro.utils.rng import SeedLike, as_generator
+
+
+def _displacement_draws(n: int, theta: float, m: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw the RIM displacement matrix ``V`` of ``shape (m, n)``.
+
+    ``V[s, j]`` is the number of inversions added when inserting the
+    ``(j+1)``-th item of sample ``s``; it lies in ``{0..j}`` and has
+    ``P(v) ∝ q^v`` with ``q = e^{−θ}``.
+    """
+    u = rng.random((m, n))
+    j = np.arange(n, dtype=np.float64)
+    q = math.exp(-theta) if theta > 0.0 else 1.0
+    if q >= 1.0:
+        # theta == 0, or so small that e^{-theta} rounds to 1: the law is
+        # (indistinguishable from) uniform over {0..j}, and the geometric
+        # inverse CDF below would divide by log(1) = 0.
+        return np.floor(u * (j + 1.0)).astype(np.int64)
+    # CDF(v) = (1 − q^{v+1}) / (1 − q^{j+1});  inverse transform:
+    #   v = floor( log(1 − u·(1 − q^{j+1})) / log q )
+    tail = 1.0 - np.power(q, j + 1.0)
+    v = np.floor(np.log1p(-u * tail) / math.log(q))
+    v = np.clip(v, 0, j).astype(np.int64)
+    return v
+
+
+def _orders_from_displacements(center_order: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Materialize sample orders from displacement draws.
+
+    For each sample, item ``center_order[j]`` is inserted at list index
+    ``j − v[j]`` (i.e. ``v[j]`` slots before the current end).
+    """
+    m, n = v.shape
+    out = np.empty((m, n), dtype=np.int64)
+    center_list = center_order.tolist()
+    for s in range(m):
+        current: list[int] = []
+        row = v[s]
+        for j in range(n):
+            current.insert(j - int(row[j]), center_list[j])
+        out[s] = current
+    return out
+
+
+def sample_mallows_batch(
+    center: Ranking,
+    theta: float,
+    m: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw ``m`` exact Mallows samples as an ``(m, n)`` order-view array.
+
+    This is the fast path used by experiments; each row is the order view of
+    one sampled ranking (item at each position, top first).
+    """
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    if m < 0:
+        raise ValueError(f"sample count must be non-negative, got {m}")
+    n = len(center)
+    if m == 0:
+        return np.empty((0, n), dtype=np.int64)
+    if n == 0:
+        return np.empty((m, 0), dtype=np.int64)
+    rng = as_generator(seed)
+    v = _displacement_draws(n, theta, m, rng)
+    return _orders_from_displacements(center.order, v)
+
+
+def sample_mallows(
+    center: Ranking,
+    theta: float,
+    m: int = 1,
+    seed: SeedLike = None,
+) -> list[Ranking]:
+    """Draw ``m`` exact Mallows samples as :class:`Ranking` objects."""
+    orders = sample_mallows_batch(center, theta, m, seed=seed)
+    return [Ranking(row) for row in orders]
+
+
+def sample_displacements_total(
+    n: int, theta: float, m: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Draw only the total KT distances of ``m`` Mallows samples (no
+    permutation materialization) — handy for statistical tests of the
+    sampler and for fast expected-distance estimation."""
+    rng = as_generator(seed)
+    if m == 0 or n == 0:
+        return np.zeros(m, dtype=np.int64)
+    v = _displacement_draws(n, theta, m, rng)
+    return v.sum(axis=1)

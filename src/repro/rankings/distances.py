@@ -1,0 +1,253 @@
+"""Distance metrics between rankings (Section III-C of the paper).
+
+All functions accept either :class:`~repro.rankings.permutation.Ranking`
+objects or raw permutation arrays.  Distances are computed between the
+*position* views: two rankings agree on a pair ``(i, j)`` when both place
+item ``i`` before item ``j``.
+
+The Kendall tau implementation runs in ``O(n log n)`` via a merge-sort
+inversion count; a quadratic reference implementation is kept for testing
+and micro-benchmarking.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.rankings.permutation import Ranking
+from repro.utils.validation import as_permutation_array, check_same_length
+
+RankingLike = Union[Ranking, Sequence[int], np.ndarray]
+
+
+def _positions(ranking: RankingLike) -> np.ndarray:
+    """Position view of ``ranking`` (``positions[i]`` = rank of item ``i``).
+
+    Raw arrays are interpreted in *order* view (item at each position), the
+    same convention as ``Ranking(order)``, and converted.
+    """
+    if isinstance(ranking, Ranking):
+        return ranking.positions
+    order = as_permutation_array(ranking, name="ranking")
+    pos = np.empty_like(order)
+    pos[order] = np.arange(order.size, dtype=np.int64)
+    return pos
+
+
+def kendall_tau_distance(pi: RankingLike, sigma: RankingLike) -> int:
+    """Number of discordant pairs between two rankings, in ``O(n log n)``.
+
+    ``d_KT(π, σ) = |{(i, j) : i < j, (π(i)−π(j))(σ(i)−σ(j)) < 0}|``
+    """
+    p = _positions(pi)
+    s = _positions(sigma)
+    check_same_length(p, s, "rankings")
+    if p.size < 2:
+        return 0
+    # Order items by sigma-position; inversions of their pi-positions are
+    # exactly the discordant pairs.
+    seq = p[np.argsort(s, kind="stable")]
+    return _count_inversions(seq)
+
+
+def _count_inversions(seq: np.ndarray) -> int:
+    """Merge-sort inversion count (iterative bottom-up, numpy merges)."""
+    n = seq.size
+    arr = seq.astype(np.int64, copy=True)
+    inversions = 0
+    width = 1
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            if mid >= hi:
+                continue
+            inversions += _merge(arr, lo, mid, hi)
+        width *= 2
+    return int(inversions)
+
+
+def _merge(arr: np.ndarray, lo: int, mid: int, hi: int) -> int:
+    """Merge sorted runs ``arr[lo:mid]`` and ``arr[mid:hi]`` in place;
+    return the number of crossing inversions."""
+    left = arr[lo:mid]
+    right = arr[mid:hi]
+    # For each element of `right`, the number of `left` elements greater
+    # than it is a crossing inversion; searchsorted counts the complement.
+    idx = np.searchsorted(left, right, side="right")
+    inv = int((left.size - idx).sum())
+    combined = np.concatenate([left, right])
+    # Stable argsort of the concatenation performs the merge in C while
+    # keeping left-before-right order on ties.
+    arr[lo:hi] = combined[np.argsort(combined, kind="stable")]
+    return inv
+
+
+def kendall_tau_distance_naive(pi: RankingLike, sigma: RankingLike) -> int:
+    """Quadratic reference implementation of Kendall tau (for testing)."""
+    p = _positions(pi).astype(np.int64)
+    s = _positions(sigma).astype(np.int64)
+    check_same_length(p, s, "rankings")
+    n = p.size
+    if n < 2:
+        return 0
+    dp = p[:, None] - p[None, :]
+    ds = s[:, None] - s[None, :]
+    discordant = (dp * ds) < 0
+    return int(np.triu(discordant, k=1).sum())
+
+
+def max_kendall_tau(n: int) -> int:
+    """Maximum possible Kendall tau distance between rankings of ``n`` items."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return n * (n - 1) // 2
+
+
+def kendall_tau_coefficient(pi: RankingLike, sigma: RankingLike) -> float:
+    """Kendall's tau coefficient ``kτ = 1 − 4·d_KT / (k(k−1)) ∈ [−1, 1]``.
+
+    Equals 1 for identical rankings and −1 for exact reversals.
+    """
+    p = _positions(pi)
+    n = p.size
+    if n < 2:
+        return 1.0
+    d = kendall_tau_distance(pi, sigma)
+    return 1.0 - 4.0 * d / (n * (n - 1))
+
+
+def spearman_distance(pi: RankingLike, sigma: RankingLike) -> int:
+    """Spearman distance ``d₂ = Σᵢ (π(i) − σ(i))²`` (total squared displacement)."""
+    p = _positions(pi).astype(np.int64)
+    s = _positions(sigma).astype(np.int64)
+    check_same_length(p, s, "rankings")
+    diff = p - s
+    return int(np.dot(diff, diff))
+
+
+def footrule_distance(pi: RankingLike, sigma: RankingLike) -> int:
+    """Spearman's footrule ``Σᵢ |π(i) − σ(i)|`` (total absolute displacement).
+
+    This is the efficiency objective optimized exactly by
+    ApproxMultiValuedIPF's bipartite matching.
+    """
+    p = _positions(pi).astype(np.int64)
+    s = _positions(sigma).astype(np.int64)
+    check_same_length(p, s, "rankings")
+    return int(np.abs(p - s).sum())
+
+
+def ulam_distance(pi: RankingLike, sigma: RankingLike) -> int:
+    """Ulam distance: ``n`` minus the longest common subsequence of the two
+    orders, i.e. the minimum number of move-one-item operations.
+
+    Computed as ``n − LIS(relative order)`` in ``O(n log n)``.
+    """
+    p = _positions(pi)
+    s = _positions(sigma)
+    check_same_length(p, s, "rankings")
+    n = p.size
+    if n == 0:
+        return 0
+    # Items in sigma's order; their pi-positions form a sequence whose LIS
+    # length is the size of the largest sub-ranking on which they agree.
+    if isinstance(sigma, Ranking):
+        sigma_order = sigma.order
+    else:
+        sigma_order = as_permutation_array(sigma)
+    seq = p[sigma_order]
+    return n - _longest_increasing_subsequence_length(seq)
+
+
+def _longest_increasing_subsequence_length(seq: np.ndarray) -> int:
+    """Patience-sorting LIS length (strictly increasing)."""
+    tails: list[int] = []
+    for value in seq.tolist():
+        lo, hi = 0, len(tails)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tails[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(tails):
+            tails.append(value)
+        else:
+            tails[lo] = value
+    return len(tails)
+
+
+def cayley_distance(pi: RankingLike, sigma: RankingLike) -> int:
+    """Cayley distance: minimum number of (arbitrary) transpositions turning
+    one ranking into the other, ``n`` minus the number of cycles of σπ⁻¹."""
+    p = _positions(pi)
+    s = _positions(sigma)
+    check_same_length(p, s, "rankings")
+    n = p.size
+    if n == 0:
+        return 0
+    # Composite permutation mapping pi-positions to sigma-positions.
+    comp = np.empty(n, dtype=np.int64)
+    comp[p] = s
+    seen = np.zeros(n, dtype=bool)
+    cycles = 0
+    for start in range(n):
+        if seen[start]:
+            continue
+        cycles += 1
+        j = start
+        while not seen[j]:
+            seen[j] = True
+            j = int(comp[j])
+    return n - cycles
+
+
+def weighted_kendall_tau(
+    pi: RankingLike,
+    sigma: RankingLike,
+    weights: Sequence[float] | np.ndarray | None = None,
+) -> float:
+    """Position-weighted Kendall tau distance.
+
+    Each discordant pair ``(i, j)`` contributes ``w[min position]`` — the
+    weight of the higher of the two positions the pair occupies in ``pi`` —
+    so disagreements near the top cost more.  With ``weights = None`` the
+    DCG discounts ``1/log(1+r)`` are used (1-based rank ``r``), the natural
+    companion to NDCG-based efficiency; uniform weights recover the plain
+    Kendall tau.
+
+    Runs in ``O(n²)`` (the weighting breaks the inversion-count trick);
+    intended for the paper's scales (``n ≤ a few hundred``).
+    """
+    p = _positions(pi).astype(np.int64)
+    s = _positions(sigma).astype(np.int64)
+    check_same_length(p, s, "rankings")
+    n = p.size
+    if n < 2:
+        return 0.0
+    if weights is None:
+        w = 1.0 / np.log1p(np.arange(1, n + 1, dtype=np.float64))
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n,):
+            raise ValueError(
+                f"weights must have shape ({n},), got {w.shape}"
+            )
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+    dp = p[:, None] - p[None, :]
+    ds = s[:, None] - s[None, :]
+    discordant = np.triu((dp * ds) < 0, k=1)
+    top_pos = np.minimum(p[:, None], p[None, :])
+    return float((w[top_pos] * discordant).sum())
+
+
+def hamming_distance(pi: RankingLike, sigma: RankingLike) -> int:
+    """Number of positions at which the two rankings hold different items."""
+    p = _positions(pi)
+    s = _positions(sigma)
+    check_same_length(p, s, "rankings")
+    return int((p != s).sum())

@@ -1,0 +1,166 @@
+"""An immutable permutation type used to represent rankings.
+
+Conventions
+-----------
+A :class:`Ranking` over ``n`` items stores the *order* of items: ``order[j]``
+is the item placed at position ``j`` (position 0 is the top of the ranking).
+The inverse view, ``positions[i]``, gives the position of item ``i`` and
+corresponds to the ``σ(i)`` notation of the paper.  Both views are plain
+NumPy arrays; the class keeps them consistent and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import LengthMismatchError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import as_permutation_array
+
+
+class Ranking:
+    """An immutable ranking (permutation) of items ``0..n-1``.
+
+    Parameters
+    ----------
+    order:
+        ``order[j]`` is the item at position ``j`` (top position first).
+
+    Examples
+    --------
+    >>> r = Ranking([2, 0, 1])
+    >>> r.item_at(0)
+    2
+    >>> r.position_of(1)
+    2
+    """
+
+    __slots__ = ("_order", "_positions", "_hash")
+
+    def __init__(self, order: Sequence[int] | np.ndarray):
+        arr = as_permutation_array(order, name="ranking order")
+        arr.setflags(write=False)
+        self._order = arr
+        inv = np.empty_like(arr)
+        inv[arr] = np.arange(arr.size, dtype=np.int64)
+        inv.setflags(write=False)
+        self._positions = inv
+        self._hash: int | None = None
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_positions(cls, positions: Sequence[int] | np.ndarray) -> "Ranking":
+        """Build a ranking from the inverse view (``positions[i]`` = position
+        of item ``i``)."""
+        pos = as_permutation_array(positions, name="ranking positions")
+        order = np.empty_like(pos)
+        order[pos] = np.arange(pos.size, dtype=np.int64)
+        return cls(order)
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def order(self) -> np.ndarray:
+        """Read-only array: item at each position (top first)."""
+        return self._order
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only array: position of each item (the paper's ``σ(i)``)."""
+        return self._positions
+
+    def __len__(self) -> int:
+        return int(self._order.size)
+
+    def item_at(self, position: int) -> int:
+        """Item occupying ``position`` (0-based from the top)."""
+        return int(self._order[position])
+
+    def position_of(self, item: int) -> int:
+        """Position of ``item`` (0-based from the top)."""
+        return int(self._positions[item])
+
+    def prefix(self, k: int) -> np.ndarray:
+        """The top-``k`` items in order.  ``k`` is clamped to ``[0, n]``."""
+        k = max(0, min(k, len(self)))
+        return self._order[:k].copy()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(i) for i in self._order)
+
+    # -- algebra -----------------------------------------------------------------
+
+    def inverse(self) -> "Ranking":
+        """The inverse permutation (order and positions views swapped)."""
+        return Ranking(self._positions)
+
+    def compose(self, other: "Ranking") -> "Ranking":
+        """Return ``self ∘ other``: apply ``other`` first, then ``self``.
+
+        In order-view terms the result places at position ``j`` the item
+        ``self.order[other.order[j]]``.
+        """
+        if len(self) != len(other):
+            raise LengthMismatchError(
+                f"cannot compose rankings of lengths {len(self)} and {len(other)}"
+            )
+        return Ranking(self._order[other._order])
+
+    def relabel(self, mapping: Sequence[int] | np.ndarray) -> "Ranking":
+        """Rename items through ``mapping`` (itself a permutation):
+        item ``i`` becomes ``mapping[i]``, order of positions preserved."""
+        m = as_permutation_array(mapping, name="relabel mapping")
+        if m.size != len(self):
+            raise LengthMismatchError(
+                f"mapping has {m.size} entries for a ranking of {len(self)} items"
+            )
+        return Ranking(m[self._order])
+
+    def swap_positions(self, j: int, k: int) -> "Ranking":
+        """A new ranking with the items at positions ``j`` and ``k`` exchanged."""
+        order = self._order.copy()
+        order[j], order[k] = order[k], order[j]
+        return Ranking(order)
+
+    # -- dunder plumbing ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ranking):
+            return NotImplemented
+        return len(self) == len(other) and bool(
+            np.array_equal(self._order, other._order)
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._order.tobytes())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Ranking({self._order.tolist()})"
+
+
+def identity(n: int) -> Ranking:
+    """The identity ranking ``0, 1, ..., n-1``."""
+    if n < 0:
+        raise ValueError(f"ranking length must be non-negative, got {n}")
+    return Ranking(np.arange(n, dtype=np.int64))
+
+
+def random_ranking(n: int, seed: SeedLike = None) -> Ranking:
+    """A uniformly random ranking of ``n`` items."""
+    if n < 0:
+        raise ValueError(f"ranking length must be non-negative, got {n}")
+    rng = as_generator(seed)
+    return Ranking(rng.permutation(n))
+
+
+def all_rankings(n: int) -> Iterable[Ranking]:
+    """Yield every ranking of ``n`` items (n! of them — small ``n`` only)."""
+    import itertools
+
+    for perm in itertools.permutations(range(n)):
+        yield Ranking(np.array(perm, dtype=np.int64))

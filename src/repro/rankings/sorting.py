@@ -1,0 +1,57 @@
+"""Score-based ranking construction.
+
+The paper's quality-optimal ranking ``π*`` lists items in non-increasing
+score order.  Ties are broken deterministically by item index unless a seed
+is supplied, in which case tied items are shuffled — matching the common
+practice of randomizing ties so that repeated experiments do not privilege
+low item ids.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.rankings.permutation import Ranking
+from repro.utils.rng import SeedLike, as_generator
+
+
+def rank_by_score(scores: Sequence[float], seed: SeedLike = None) -> Ranking:
+    """Ranking of items in non-increasing score order.
+
+    Parameters
+    ----------
+    scores:
+        One relevance score per item.
+    seed:
+        When given, ties are broken uniformly at random; otherwise by item
+        index (stable).
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    if s.ndim != 1:
+        raise ValueError(f"scores must be 1-D, got shape {s.shape}")
+    if seed is None:
+        order = np.argsort(-s, kind="stable")
+    else:
+        rng = as_generator(seed)
+        jitter = rng.permutation(s.size)
+        # Sort by (-score, jitter): random tie-break, deterministic per seed.
+        order = np.lexsort((jitter, -s))
+    return Ranking(order)
+
+
+def scores_in_rank_order(ranking: Ranking, scores: Sequence[float]) -> np.ndarray:
+    """The score of the item at each position (top first)."""
+    s = np.asarray(scores, dtype=np.float64)
+    if s.size != len(ranking):
+        raise ValueError(
+            f"scores has {s.size} entries for a ranking of {len(ranking)} items"
+        )
+    return s[ranking.order]
+
+
+def is_sorted_by_score(ranking: Ranking, scores: Sequence[float]) -> bool:
+    """``True`` iff ``ranking`` lists items in non-increasing score order."""
+    in_order = scores_in_rank_order(ranking, scores)
+    return bool(np.all(np.diff(in_order) <= 0))

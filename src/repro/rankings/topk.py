@@ -1,0 +1,138 @@
+"""Distances between top-k lists (incomplete rankings, the paper's S≤d).
+
+Real systems expose only the top ``k`` of a ranking.  Comparing two top-k
+lists needs conventions for items present in one list but not the other;
+the classical treatment is Fagin, Kumar & Sivakumar (2003):
+
+* ``kendall_tau_topk`` — KT with penalty parameter ``p``: pairs whose order
+  is undetermined (both items missing from one of the lists) contribute
+  ``p`` (``p = 0`` optimistic, ``p = 1/2`` neutral, ``p = 1`` pessimistic);
+* ``footrule_topk`` — footrule with location parameter ``ℓ``: missing items
+  are imputed at position ``ℓ`` (default ``k``, i.e. just below the cut).
+
+Both reduce to the ordinary distances when the two lists contain the same
+items.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate_topk(lst: Sequence[int], name: str) -> list[int]:
+    items = [int(x) for x in lst]
+    if len(set(items)) != len(items):
+        raise ValueError(f"{name} contains duplicate items")
+    if any(x < 0 for x in items):
+        raise ValueError(f"{name} contains negative item ids")
+    return items
+
+
+def kendall_tau_topk(
+    top_a: Sequence[int],
+    top_b: Sequence[int],
+    p: float = 0.5,
+) -> float:
+    """Fagin et al.'s KT distance between two top-k lists.
+
+    Pairs are scored over the union of the two lists:
+
+    * both pairs ordered by both lists → 0 if concordant, 1 if discordant;
+    * one item of the pair missing from one list → the present item is
+      treated as ranked above the missing one (0 or 1 accordingly);
+    * pair undetermined (each list misses one of the two items, or one list
+      misses both) → penalty ``p`` when the determined list(s) cannot
+      resolve it.
+
+    Follows the case analysis of Fagin–Kumar–Sivakumar Section 3.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"penalty p must be in [0, 1], got {p}")
+    a = _validate_topk(top_a, "top_a")
+    b = _validate_topk(top_b, "top_b")
+    pos_a = {item: i for i, item in enumerate(a)}
+    pos_b = {item: i for i, item in enumerate(b)}
+    union = sorted(set(a) | set(b))
+
+    total = 0.0
+    for idx, i in enumerate(union):
+        for j in union[idx + 1 :]:
+            in_a = (i in pos_a, j in pos_a)
+            in_b = (i in pos_b, j in pos_b)
+            # Case 1: both in both lists.
+            if all(in_a) and all(in_b):
+                total += int(
+                    (pos_a[i] - pos_a[j]) * (pos_b[i] - pos_b[j]) < 0
+                )
+            # Case 2: both in one list, exactly one in the other.
+            elif all(in_a) and any(in_b):
+                present = i if in_b[0] else j
+                missing = j if in_b[0] else i
+                # In B the present item ranks above the missing one.
+                disagrees = pos_a[present] > pos_a[missing]
+                total += int(disagrees)
+            elif all(in_b) and any(in_a):
+                present = i if in_a[0] else j
+                missing = j if in_a[0] else i
+                disagrees = pos_b[present] > pos_b[missing]
+                total += int(disagrees)
+            # Case 3: i only in one list, j only in the other: both lists
+            # rank their present item above the missing one, and the two
+            # verdicts conflict — a definite discordance.
+            elif (in_a[0] and not in_a[1] and in_b[1] and not in_b[0]) or (
+                in_a[1] and not in_a[0] and in_b[0] and not in_b[1]
+            ):
+                total += 1
+            # Case 4: both items missing from one of the lists (and hence
+            # both present in the other): undetermined → penalty p.
+            else:
+                total += p
+    return total
+
+
+def footrule_topk(
+    top_a: Sequence[int],
+    top_b: Sequence[int],
+    location: float | None = None,
+) -> float:
+    """Induced footrule between top-k lists with a location parameter.
+
+    Items missing from a list are imputed at position ``location``
+    (0-based; default ``max(len(a), len(b))`` — just past the cut).
+    """
+    a = _validate_topk(top_a, "top_a")
+    b = _validate_topk(top_b, "top_b")
+    loc = float(max(len(a), len(b))) if location is None else float(location)
+    if loc < 0:
+        raise ValueError(f"location must be non-negative, got {loc}")
+    pos_a = {item: float(i) for i, item in enumerate(a)}
+    pos_b = {item: float(i) for i, item in enumerate(b)}
+    union = set(a) | set(b)
+    return float(
+        sum(
+            abs(pos_a.get(item, loc) - pos_b.get(item, loc))
+            for item in union
+        )
+    )
+
+
+def overlap(top_a: Sequence[int], top_b: Sequence[int]) -> float:
+    """Jaccard overlap of the two lists' item sets (1 = same items)."""
+    a = set(_validate_topk(top_a, "top_a"))
+    b = set(_validate_topk(top_b, "top_b"))
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def recall_at_k(full_order: Sequence[int], reference_top: Sequence[int]) -> float:
+    """Fraction of ``reference_top`` recovered in the first
+    ``len(reference_top)`` entries of ``full_order``."""
+    ref = _validate_topk(reference_top, "reference_top")
+    if not ref:
+        return 1.0
+    k = len(ref)
+    head = set(int(x) for x in list(full_order)[:k])
+    return len(head & set(ref)) / k

@@ -1,0 +1,22 @@
+"""Shared utilities: RNG coercion, validation, bootstrap CIs, ASCII tables."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    as_permutation_array,
+    check_same_length,
+    is_permutation,
+)
+from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "as_permutation_array",
+    "check_same_length",
+    "is_permutation",
+    "BootstrapResult",
+    "bootstrap_ci",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,50 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes all three
+into a ``Generator`` so that downstream code never touches global NumPy
+random state and experiments are exactly reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, a ``SeedSequence``,
+        or an existing ``Generator`` (returned unchanged so that callers can
+        thread one generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    Used by experiment runners that repeat a trial many times: each repeat
+    gets its own stream, so the repeats are independent yet the whole
+    experiment is reproducible from one seed.
+    """
+    if n < 0:
+        raise ValueError(f"number of generators must be non-negative, got {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif isinstance(seed, np.random.Generator):
+        # Derive a SeedSequence from the generator's own stream.
+        seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

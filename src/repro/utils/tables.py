@@ -1,0 +1,75 @@
+"""Plain-text rendering of result tables and series.
+
+The benchmark harness prints every reproduced figure as an ASCII series
+(x-value, point estimate, confidence interval) and every table as an aligned
+grid so that "the same rows/series the paper reports" are visible in the
+benchmark output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII grid."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    x_label: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render one or more named series sharing an x-axis as a table.
+
+    ``series`` maps a series name (e.g. an algorithm) to its y-values; each
+    y-value may be a float or a ``(estimate, low, high)`` triple, which is
+    rendered as ``est [low, high]``.
+    """
+    headers = [x_label] + list(series.keys())
+    columns = list(series.values())
+    for name, col in series.items():
+        if len(col) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(col)} values for {len(x)} x-points"
+            )
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv] + [col[i] for col in columns])
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    """Format one table cell; CI triples become ``est [lo, hi]``."""
+    if isinstance(value, tuple) and len(value) == 3:
+        est, low, high = value
+        return f"{float(est):.4f} [{float(low):.4f}, {float(high):.4f}]"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

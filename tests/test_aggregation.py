@@ -1,0 +1,141 @@
+"""Tests for the rank-aggregation substrate and the fair pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.borda import borda_aggregate, borda_scores
+from repro.aggregation.copeland import copeland_aggregate
+from repro.aggregation.fair_aggregation import FairAggregationPipeline
+from repro.aggregation.kemeny import kemeny_aggregate_exact, kwiksort_aggregate
+from repro.aggregation.pairwise import (
+    kemeny_objective_from_matrix,
+    pairwise_preference_matrix,
+    total_kendall_tau,
+)
+from repro.algorithms.detconstsort import DetConstSort
+from repro.algorithms.mallows_postprocess import MallowsFairRanking
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.infeasible_index import lower_violations
+from repro.groups.attributes import GroupAssignment
+from repro.mallows.sampling import sample_mallows
+from repro.rankings.permutation import Ranking, identity, random_ranking
+from tests.conftest import all_perms
+
+
+@pytest.fixture
+def noisy_votes():
+    center = random_ranking(6, seed=0)
+    return center, sample_mallows(center, theta=1.5, m=31, seed=1)
+
+
+class TestPairwise:
+    def test_matrix_antisymmetry(self, noisy_votes):
+        _, votes = noisy_votes
+        w = pairwise_preference_matrix(votes)
+        n = w.shape[0]
+        off_diag = ~np.eye(n, dtype=bool)
+        assert np.all((w + w.T)[off_diag] == len(votes))
+        assert np.all(np.diag(w) == 0)
+
+    def test_objective_matches_total_kt(self, noisy_votes):
+        _, votes = noisy_votes
+        w = pairwise_preference_matrix(votes)
+        for cand in (identity(6), random_ranking(6, seed=3)):
+            assert kemeny_objective_from_matrix(cand, w) == total_kendall_tau(
+                cand, votes
+            )
+
+    def test_empty_votes(self):
+        with pytest.raises(ValueError):
+            pairwise_preference_matrix([])
+
+
+class TestBordaCopeland:
+    def test_borda_recovers_consensus(self, noisy_votes):
+        center, votes = noisy_votes
+        assert borda_aggregate(votes) == center
+
+    def test_copeland_recovers_consensus(self, noisy_votes):
+        center, votes = noisy_votes
+        assert copeland_aggregate(votes) == center
+
+    def test_borda_scores_shape(self, noisy_votes):
+        _, votes = noisy_votes
+        assert borda_scores(votes).shape == (6,)
+
+    def test_single_vote_identity(self):
+        r = random_ranking(5, seed=2)
+        assert borda_aggregate([r]) == r
+        assert copeland_aggregate([r]) == r
+
+
+class TestKemeny:
+    def test_exact_is_optimal(self, noisy_votes):
+        _, votes = noisy_votes
+        best = kemeny_aggregate_exact(votes)
+        best_cost = total_kendall_tau(best, votes)
+        for cand in all_perms(6):
+            assert total_kendall_tau(cand, votes) >= best_cost
+
+    def test_exact_guards_large_n(self):
+        votes = [identity(12)]
+        with pytest.raises(ValueError):
+            kemeny_aggregate_exact(votes)
+
+    def test_kwiksort_reasonable(self, noisy_votes):
+        _, votes = noisy_votes
+        exact_cost = total_kendall_tau(kemeny_aggregate_exact(votes), votes)
+        approx = kwiksort_aggregate(votes, seed=0)
+        # Expected 11/7-approximation; allow 2x for one seeded run.
+        assert total_kendall_tau(approx, votes) <= 2 * exact_cost
+
+    def test_kwiksort_valid_permutation(self, noisy_votes):
+        _, votes = noisy_votes
+        out = kwiksort_aggregate(votes, seed=5)
+        assert sorted(out.order.tolist()) == list(range(6))
+
+    def test_empty_votes(self):
+        with pytest.raises(ValueError):
+            kemeny_aggregate_exact([])
+        with pytest.raises(ValueError):
+            kwiksort_aggregate([])
+
+
+class TestFairPipeline:
+    def test_mallows_postprocessor(self, noisy_votes):
+        _, votes = noisy_votes
+        ga = GroupAssignment(["a", "b"] * 3)
+        pipeline = FairAggregationPipeline(MallowsFairRanking(1.0, 5))
+        result = pipeline.aggregate(votes, groups=ga, seed=0)
+        assert len(result.ranking) == 6
+        assert "consensus_total_kt" in result.metadata
+        assert "output_total_kt" in result.metadata
+
+    def test_attribute_aware_postprocessor_enforces_floors(self, noisy_votes):
+        _, votes = noisy_votes
+        ga = GroupAssignment(["a", "b"] * 3)
+        fc = FairnessConstraints.proportional(ga)
+        pipeline = FairAggregationPipeline(DetConstSort())
+        result = pipeline.aggregate(votes, groups=ga, constraints=fc, seed=0)
+        assert lower_violations(result.ranking, ga, fc) == 0
+
+    def test_surrogate_scores_follow_consensus(self, noisy_votes):
+        center, votes = noisy_votes
+        ga = GroupAssignment(["a", "b"] * 3)
+        # High theta: post-processing stays at the consensus.
+        pipeline = FairAggregationPipeline(MallowsFairRanking(50.0, 1))
+        result = pipeline.aggregate(votes, groups=ga, seed=0)
+        assert result.ranking == center
+
+    def test_custom_aggregator(self, noisy_votes):
+        _, votes = noisy_votes
+        pipeline = FairAggregationPipeline(
+            MallowsFairRanking(50.0, 1), aggregator=copeland_aggregate
+        )
+        result = pipeline.aggregate(votes, seed=0)
+        assert result.ranking == copeland_aggregate(votes)
+
+    def test_empty_votes(self):
+        pipeline = FairAggregationPipeline(MallowsFairRanking(1.0))
+        with pytest.raises(ValueError):
+            pipeline.aggregate([])

@@ -1,0 +1,94 @@
+"""Tests for GrBinaryIPF: validity, fairness, KT optimality vs brute force."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import FairRankingProblem
+from repro.algorithms.binary_ipf import GrBinaryIPF
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.infeasible_index import infeasible_index
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.distances import kendall_tau_distance
+from repro.rankings.permutation import Ranking, random_ranking
+from tests.conftest import fair_perms
+
+
+def make_problem(base, ga):
+    return FairRankingProblem(
+        base_ranking=base,
+        groups=ga,
+        constraints=FairnessConstraints.proportional(ga),
+    )
+
+
+class TestBasics:
+    def test_valid_and_fair(self):
+        ga = GroupAssignment(["a"] * 4 + ["b"] * 4)
+        base = Ranking(np.arange(8))  # group a first: unfair
+        result = GrBinaryIPF().rank(make_problem(base, ga))
+        assert sorted(result.ranking.order.tolist()) == list(range(8))
+        assert infeasible_index(
+            result.ranking, ga, FairnessConstraints.proportional(ga)
+        ) == 0
+
+    def test_rejects_non_binary(self):
+        ga = GroupAssignment(["a", "b", "c"])
+        with pytest.raises(ValueError):
+            GrBinaryIPF().rank(make_problem(Ranking([0, 1, 2]), ga))
+
+    def test_fair_base_unchanged(self):
+        ga = GroupAssignment(["a", "b", "a", "b"])
+        base = Ranking([0, 1, 2, 3])
+        result = GrBinaryIPF().rank(make_problem(base, ga))
+        assert result.ranking == base
+        assert result.metadata["kendall_tau_to_base"] == 0
+
+    def test_within_group_order_preserved(self):
+        ga = GroupAssignment(["a"] * 5 + ["b"] * 5)
+        base = random_ranking(10, seed=0)
+        result = GrBinaryIPF().rank(make_problem(base, ga))
+        base_pos = base.positions
+        pos = result.ranking.positions
+        for gi in range(2):
+            members = np.flatnonzero(ga.indices == gi)
+            by_out = members[np.argsort(pos[members])]
+            assert np.all(np.diff(base_pos[by_out]) > 0)
+
+    def test_unequal_group_sizes(self):
+        ga = GroupAssignment(["a"] * 3 + ["b"] * 7)
+        base = random_ranking(10, seed=1)
+        fc = FairnessConstraints.proportional(ga)
+        result = GrBinaryIPF().rank(make_problem(base, ga))
+        assert infeasible_index(result.ranking, ga, fc) == 0
+
+
+class TestOptimality:
+    def test_kt_optimal_vs_brute_force(self):
+        ga = GroupAssignment(["a", "a", "a", "b", "b", "b"])
+        fc = FairnessConstraints.proportional(ga)
+        feasible = fair_perms(6, ga, fc)
+        for seed in range(8):
+            base = random_ranking(6, seed=seed)
+            result = GrBinaryIPF().rank(make_problem(base, ga))
+            best = min(kendall_tau_distance(r, base) for r in feasible)
+            got = kendall_tau_distance(result.ranking, base)
+            assert got == best, f"seed {seed}: {got} > optimum {best}"
+
+    def test_kt_optimal_skewed_groups(self):
+        ga = GroupAssignment(["a", "a", "b", "b", "b", "b"])
+        fc = FairnessConstraints.proportional(ga)
+        feasible = fair_perms(6, ga, fc)
+        assert feasible, "constraints must be satisfiable"
+        for seed in range(8):
+            base = random_ranking(6, seed=100 + seed)
+            result = GrBinaryIPF().rank(make_problem(base, ga))
+            best = min(kendall_tau_distance(r, base) for r in feasible)
+            assert kendall_tau_distance(result.ranking, base) == best
+
+    def test_metadata_distance_correct(self):
+        ga = GroupAssignment(["a"] * 4 + ["b"] * 4)
+        base = random_ranking(8, seed=5)
+        result = GrBinaryIPF().rank(make_problem(base, ga))
+        assert result.metadata["kendall_tau_to_base"] == kendall_tau_distance(
+            result.ranking, base
+        )

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface (against fast paths only)."""
+
+import pytest
+
+from repro.cli import _build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = _build_parser()
+        for cmd in ("fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "fig7", "all"):
+            args = parser.parse_args([cmd] if cmd not in () else [cmd])
+            assert args.command == cmd
+
+    def test_fig5_options(self):
+        args = _build_parser().parse_args(
+            ["fig5", "--theta", "1", "--sigma", "0.5", "--repeats", "3", "--milp"]
+        )
+        assert args.theta == 1.0
+        assert args.sigma == 0.5
+        assert args.repeats == 3
+        assert args.milp is True
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "1000" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.1" in out
+        assert "theta" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.2" in out
+        assert "delta" in out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--theta", "0.5", "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.5" in out
+        assert "Age-Sex" in out
+
+    def test_fig6_noisy_small(self, capsys):
+        assert main(["fig6", "--theta", "1", "--sigma", "1", "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.6" in out
+        assert "Housing" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.7" in out
+        assert "NDCG" in out

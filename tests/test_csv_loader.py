@@ -1,0 +1,114 @@
+"""Tests for the generic CSV ranking-dataset loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.csv_loader import (
+    RankingDataset,
+    load_ranking_csv,
+    save_ranking_csv,
+)
+from repro.exceptions import DatasetError
+from repro.groups.attributes import GroupAssignment
+
+CSV = """score,sex,age
+0.9,f,<35
+0.5,m,<35
+0.7,f,>=35
+0.3,m,>=35
+"""
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(CSV)
+    return str(path)
+
+
+class TestLoad:
+    def test_basic(self, csv_path):
+        ds = load_ranking_csv(csv_path, "score", ["sex", "age"])
+        assert ds.n_items == 4
+        assert ds.scores.tolist() == [0.9, 0.5, 0.7, 0.3]
+        assert ds.attributes["sex"].group_sizes.tolist() == [2, 2]
+
+    def test_single_attribute(self, csv_path):
+        ds = load_ranking_csv(csv_path, "score", ["sex"])
+        assert set(ds.attributes) == {"sex"}
+
+    def test_groups_accessor(self, csv_path):
+        ds = load_ranking_csv(csv_path, "score", ["sex", "age"])
+        assert ds.groups("sex").n_groups == 2
+        combined = ds.groups("sex", "age")
+        assert combined.n_groups == 4
+
+    def test_groups_unknown_attribute(self, csv_path):
+        ds = load_ranking_csv(csv_path, "score", ["sex"])
+        with pytest.raises(DatasetError):
+            ds.groups("age")
+        with pytest.raises(DatasetError):
+            ds.groups()
+
+    def test_missing_column(self, csv_path):
+        with pytest.raises(DatasetError):
+            load_ranking_csv(csv_path, "nope", ["sex"])
+        with pytest.raises(DatasetError):
+            load_ranking_csv(csv_path, "score", ["nope"])
+
+    def test_non_numeric_score(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("score,g\nabc,x\n")
+        with pytest.raises(DatasetError):
+            load_ranking_csv(str(path), "score", ["g"])
+
+    def test_empty_attribute_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("score,g\n1.0,\n")
+        with pytest.raises(DatasetError):
+            load_ranking_csv(str(path), "score", ["g"])
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("score,g\n")
+        with pytest.raises(DatasetError):
+            load_ranking_csv(str(path), "score", ["g"])
+
+    def test_no_attribute_columns(self, csv_path):
+        with pytest.raises(DatasetError):
+            load_ranking_csv(csv_path, "score", [])
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("score;g\n1.5;x\n2.5;y\n")
+        ds = load_ranking_csv(str(path), "score", ["g"], delimiter=";")
+        assert ds.scores.tolist() == [1.5, 2.5]
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        ds = RankingDataset(
+            scores=np.array([1.25, 3.5, 0.75]),
+            attributes={
+                "g": GroupAssignment(["a", "b", "a"]),
+                "h": GroupAssignment(["x", "x", "y"]),
+            },
+        )
+        path = str(tmp_path / "roundtrip.csv")
+        save_ranking_csv(path, ds)
+        loaded = load_ranking_csv(path, "score", ["g", "h"])
+        assert loaded.scores.tolist() == ds.scores.tolist()
+        assert loaded.attributes["g"] == ds.attributes["g"]
+        assert loaded.attributes["h"] == ds.attributes["h"]
+
+
+class TestEndToEnd:
+    def test_csv_to_fair_ranking(self, csv_path):
+        from repro import FairRankingProblem, MallowsFairRanking
+
+        ds = load_ranking_csv(csv_path, "score", ["sex", "age"])
+        problem = FairRankingProblem.from_scores(
+            ds.scores, ds.groups("sex", "age")
+        )
+        result = MallowsFairRanking(1.0, 5).rank(problem, seed=0)
+        assert len(result.ranking) == 4

@@ -1,0 +1,186 @@
+"""Tests for the German Credit replica and synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.german_credit import (
+    GERMAN_CREDIT_TABLE1,
+    load_german_credit,
+    synthesize_german_credit,
+)
+from repro.datasets.synthetic import (
+    engineered_ranking_with_ii,
+    multi_group_scores,
+    two_group_shifted_scores,
+)
+from repro.exceptions import DatasetError
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.infeasible_index import infeasible_index
+
+
+class TestGermanCredit:
+    def test_total_is_1000(self):
+        data = synthesize_german_credit(seed=0)
+        assert data.n_items == 1000
+
+    def test_joint_counts_match_table1_exactly(self):
+        data = synthesize_german_credit(seed=0)
+        assert data.joint_counts() == GERMAN_CREDIT_TABLE1
+
+    def test_group_structures(self):
+        data = synthesize_german_credit(seed=0)
+        assert data.age_sex.n_groups == 4
+        assert data.housing.n_groups == 3
+        assert data.age_sex.group_sizes.sum() == 1000
+
+    def test_marginals(self):
+        data = synthesize_german_credit(seed=0)
+        housing_sizes = dict(zip(data.housing.labels, data.housing.group_sizes))
+        assert housing_sizes == {"free": 108, "own": 713, "rent": 179}
+        age_sex_sizes = dict(zip(data.age_sex.labels, data.age_sex.group_sizes))
+        assert age_sex_sizes["<35-female"] == 213
+        assert age_sex_sizes[">=35-male"] == 355
+
+    def test_credit_amount_plausible(self):
+        data = synthesize_german_credit(seed=0)
+        amounts = data.credit_amount
+        assert amounts.min() >= 250
+        assert amounts.max() <= 20000
+        # Heavy right tail: mean well above median, like the real data.
+        assert amounts.mean() > np.median(amounts)
+
+    def test_reproducible(self):
+        a = synthesize_german_credit(seed=5)
+        b = synthesize_german_credit(seed=5)
+        assert np.array_equal(a.credit_amount, b.credit_amount)
+
+    def test_identity_shuffled(self):
+        # Group labels must not be blocked by item index.
+        data = synthesize_german_credit(seed=0)
+        first_block = data.age_sex.indices[:213]
+        assert len(set(first_block.tolist())) > 1
+
+    def test_subsample(self):
+        data = synthesize_german_credit(seed=0)
+        sub = data.subsample(50, seed=1)
+        assert sub.n_items == 50
+        assert sub.age_sex.n_items == 50
+        # Group space preserved even if a group is missing.
+        assert sub.age_sex.n_groups == 4
+
+    def test_subsample_bad_size(self):
+        data = synthesize_german_credit(seed=0)
+        with pytest.raises(ValueError):
+            data.subsample(0)
+        with pytest.raises(ValueError):
+            data.subsample(1001)
+
+    def test_load_falls_back_to_synthetic(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("GERMAN_CREDIT_PATH", raising=False)
+        data = load_german_credit()
+        assert data.source == "synthetic"
+
+    def test_load_missing_explicit_path(self):
+        with pytest.raises(DatasetError):
+            load_german_credit(path="/nonexistent/german.data")
+
+    def test_load_parses_uci_format(self, tmp_path):
+        # Two fabricated UCI-format rows.
+        row1 = "A11 6 A34 A43 1169 A65 A75 4 A93 A101 4 A121 67 A143 A152 2 A173 1 A192 A201 1"
+        row2 = "A12 48 A32 A43 5951 A61 A73 2 A92 A101 2 A121 22 A143 A151 1 A173 1 A191 A201 2"
+        path = tmp_path / "german.data"
+        path.write_text(row1 + "\n" + row2 + "\n")
+        data = load_german_credit(path=str(path))
+        assert data.source == "uci"
+        assert data.n_items == 2
+        assert data.credit_amount.tolist() == [1169.0, 5951.0]
+        assert data.age_sex.group_of(0) == ">=35-male"
+        assert data.age_sex.group_of(1) == "<35-female"
+        assert data.housing.group_of(0) == "own"
+        assert data.housing.group_of(1) == "rent"
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "german.data"
+        path.write_text("too few fields\n")
+        with pytest.raises(DatasetError):
+            load_german_credit(path=str(path))
+
+
+class TestTwoGroupShifted:
+    def test_structure(self):
+        sample = two_group_shifted_scores(0.5, seed=0)
+        assert sample.scores.shape == (10,)
+        assert sample.groups.n_groups == 2
+        assert sample.delta == 0.5
+
+    def test_score_ranges(self):
+        sample = two_group_shifted_scores(0.7, seed=1)
+        s1 = sample.scores[:5]
+        s2 = sample.scores[5:]
+        assert np.all((0 <= s1) & (s1 <= 1))
+        assert np.all((0.7 <= s2) & (s2 <= 1.7))
+
+    def test_ranking_is_score_sorted(self):
+        sample = two_group_shifted_scores(0.3, seed=2)
+        in_order = sample.scores[sample.ranking.order]
+        assert np.all(np.diff(in_order) <= 0)
+
+    def test_delta_one_fully_segregates(self):
+        sample = two_group_shifted_scores(1.0, seed=3)
+        top5 = sample.groups.indices[sample.ranking.order[:5]]
+        assert np.all(top5 == 1)
+
+    def test_custom_group_size(self):
+        sample = two_group_shifted_scores(0.0, group_size=8, seed=0)
+        assert sample.scores.shape == (16,)
+
+    def test_bad_group_size(self):
+        with pytest.raises(DatasetError):
+            two_group_shifted_scores(0.0, group_size=0)
+
+
+class TestMultiGroup:
+    def test_structure(self):
+        scores, ga = multi_group_scores([3, 4, 5], [0.0, 0.2, 0.4], seed=0)
+        assert scores.shape == (12,)
+        assert ga.group_sizes.tolist() == [3, 4, 5]
+
+    def test_mismatched_args(self):
+        with pytest.raises(DatasetError):
+            multi_group_scores([3, 4], [0.0])
+
+    def test_empty_group(self):
+        with pytest.raises(DatasetError):
+            multi_group_scores([3, 0], [0.0, 0.1])
+
+
+class TestEngineeredII:
+    @pytest.mark.parametrize("target", [0, 2, 4, 6, 8, 10, 12, 14])
+    def test_exact_targets_n10(self, target):
+        ranking, ga = engineered_ranking_with_ii(target)
+        fc = FairnessConstraints.proportional(ga)
+        assert infeasible_index(ranking, ga, fc) == target
+
+    def test_unreachable_target_clamps_to_max(self):
+        ranking, ga = engineered_ranking_with_ii(99)
+        fc = FairnessConstraints.proportional(ga)
+        assert infeasible_index(ranking, ga, fc) == 14
+
+    def test_other_sizes(self):
+        ranking, ga = engineered_ranking_with_ii(0, n=6)
+        fc = FairnessConstraints.proportional(ga)
+        assert infeasible_index(ranking, ga, fc) == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(DatasetError):
+            engineered_ranking_with_ii(0, n=7)
+        with pytest.raises(DatasetError):
+            engineered_ranking_with_ii(-1)
+        with pytest.raises(DatasetError):
+            engineered_ranking_with_ii(0, n=20)
+
+    def test_deterministic(self):
+        a, _ = engineered_ranking_with_ii(6)
+        b, _ = engineered_ranking_with_ii(6)
+        assert a == b

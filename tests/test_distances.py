@@ -1,0 +1,265 @@
+"""Distance-metric tests: exact values, metric axioms, fast-vs-naive parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import LengthMismatchError
+from repro.rankings.distances import (
+    cayley_distance,
+    footrule_distance,
+    hamming_distance,
+    kendall_tau_coefficient,
+    kendall_tau_distance,
+    kendall_tau_distance_naive,
+    max_kendall_tau,
+    spearman_distance,
+    ulam_distance,
+)
+from repro.rankings.permutation import Ranking, all_rankings, identity
+
+perm6 = st.permutations(list(range(6)))
+
+
+@st.composite
+def two_perms(draw, max_n=8):
+    """Two permutations of a shared random length."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    p = draw(st.permutations(list(range(n))))
+    q = draw(st.permutations(list(range(n))))
+    return p, q
+
+
+class TestKendallTau:
+    def test_identical(self):
+        r = Ranking([2, 0, 1])
+        assert kendall_tau_distance(r, r) == 0
+
+    def test_reversal_is_max(self):
+        n = 7
+        fwd = identity(n)
+        rev = Ranking(np.arange(n)[::-1])
+        assert kendall_tau_distance(fwd, rev) == max_kendall_tau(n)
+
+    def test_single_adjacent_swap(self):
+        assert kendall_tau_distance(Ranking([0, 1, 2]), Ranking([1, 0, 2])) == 1
+
+    def test_known_value(self):
+        # pairs: (0,1) concordant? pi=[1,2,0] sigma=[0,1,2]
+        assert kendall_tau_distance(Ranking([1, 2, 0]), Ranking([0, 1, 2])) == 2
+
+    def test_accepts_raw_arrays(self):
+        assert kendall_tau_distance([1, 0, 2], [0, 1, 2]) == 1
+
+    def test_empty_and_singleton(self):
+        assert kendall_tau_distance(Ranking([]), Ranking([])) == 0
+        assert kendall_tau_distance(Ranking([0]), Ranking([0])) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            kendall_tau_distance(Ranking([0, 1]), Ranking([0, 1, 2]))
+
+    @given(two_perms())
+    def test_fast_matches_naive(self, pq):
+        p, q = pq
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        assert kendall_tau_distance(rp, rq) == kendall_tau_distance_naive(rp, rq)
+
+    @given(perm6, perm6)
+    def test_symmetry(self, p, q):
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        assert kendall_tau_distance(rp, rq) == kendall_tau_distance(rq, rp)
+
+    @given(perm6, perm6, perm6)
+    def test_triangle_inequality(self, p, q, r):
+        rp, rq, rr = (Ranking(np.array(x)) for x in (p, q, r))
+        assert kendall_tau_distance(rp, rr) <= kendall_tau_distance(
+            rp, rq
+        ) + kendall_tau_distance(rq, rr)
+
+    @given(perm6, perm6)
+    def test_right_invariance(self, p, q):
+        # d(pi∘tau, sigma∘tau) == d(pi, sigma) for any relabeling tau.
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        tau = Ranking([3, 1, 4, 0, 5, 2])
+        assert kendall_tau_distance(
+            rp.relabel(tau.order), rq.relabel(tau.order)
+        ) == kendall_tau_distance(rp, rq)
+
+    def test_large_random_fast_vs_naive(self, rng):
+        p = Ranking(rng.permutation(300))
+        q = Ranking(rng.permutation(300))
+        assert kendall_tau_distance(p, q) == kendall_tau_distance_naive(p, q)
+
+
+class TestKendallTauCoefficient:
+    def test_identical_is_one(self):
+        r = Ranking([1, 2, 0])
+        assert kendall_tau_coefficient(r, r) == 1.0
+
+    def test_reversal_is_minus_one(self):
+        n = 6
+        assert kendall_tau_coefficient(
+            identity(n), Ranking(np.arange(n)[::-1])
+        ) == pytest.approx(-1.0)
+
+    def test_trivial_lengths(self):
+        assert kendall_tau_coefficient(Ranking([0]), Ranking([0])) == 1.0
+        assert kendall_tau_coefficient(Ranking([]), Ranking([])) == 1.0
+
+    @given(perm6, perm6)
+    def test_range(self, p, q):
+        k = kendall_tau_coefficient(Ranking(np.array(p)), Ranking(np.array(q)))
+        assert -1.0 <= k <= 1.0
+
+
+class TestSpearmanAndFootrule:
+    def test_spearman_known(self):
+        # positions: pi=[1,0,2] -> swap items 0,1: (1-0)^2+(0-1)^2 = 2
+        assert spearman_distance(Ranking([1, 0, 2]), Ranking([0, 1, 2])) == 2
+
+    def test_footrule_known(self):
+        assert footrule_distance(Ranking([1, 0, 2]), Ranking([0, 1, 2])) == 2
+
+    @given(perm6, perm6)
+    def test_footrule_bounds_kt(self, p, q):
+        # Diaconis–Graham: KT <= footrule <= 2 * KT.
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        kt = kendall_tau_distance(rp, rq)
+        fr = footrule_distance(rp, rq)
+        assert kt <= fr <= 2 * kt
+
+    @given(perm6)
+    def test_identity_distances_zero(self, p):
+        r = Ranking(np.array(p))
+        assert spearman_distance(r, r) == 0
+        assert footrule_distance(r, r) == 0
+
+    @given(perm6, perm6)
+    def test_spearman_symmetry(self, p, q):
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        assert spearman_distance(rp, rq) == spearman_distance(rq, rp)
+
+
+class TestUlam:
+    def test_identical(self):
+        r = Ranking([2, 0, 1])
+        assert ulam_distance(r, r) == 0
+
+    def test_single_move(self):
+        # moving one item => distance 1
+        assert ulam_distance(Ranking([1, 2, 3, 0]), Ranking([0, 1, 2, 3])) == 1
+
+    def test_reversal(self):
+        n = 5
+        assert ulam_distance(identity(n), Ranking(np.arange(n)[::-1])) == n - 1
+
+    @given(perm6, perm6)
+    def test_symmetry(self, p, q):
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        assert ulam_distance(rp, rq) == ulam_distance(rq, rp)
+
+    @given(perm6, perm6)
+    def test_bounded_by_n_minus_1(self, p, q):
+        assert 0 <= ulam_distance(Ranking(np.array(p)), Ranking(np.array(q))) <= 5
+
+
+class TestCayleyAndHamming:
+    def test_cayley_single_transposition(self):
+        assert cayley_distance(Ranking([1, 0, 2]), Ranking([0, 1, 2])) == 1
+
+    def test_cayley_cycle(self):
+        # 3-cycle needs 2 transpositions.
+        assert cayley_distance(Ranking([1, 2, 0]), Ranking([0, 1, 2])) == 2
+
+    def test_hamming(self):
+        assert hamming_distance(Ranking([1, 0, 2]), Ranking([0, 1, 2])) == 2
+
+    @given(perm6, perm6)
+    def test_cayley_le_hamming(self, p, q):
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        assert cayley_distance(rp, rq) <= hamming_distance(rp, rq)
+
+    @given(perm6, perm6)
+    def test_cayley_symmetry(self, p, q):
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        assert cayley_distance(rp, rq) == cayley_distance(rq, rp)
+
+
+def test_all_distances_zero_iff_equal():
+    for pi in all_rankings(4):
+        for metric in (
+            kendall_tau_distance,
+            spearman_distance,
+            footrule_distance,
+            ulam_distance,
+            cayley_distance,
+            hamming_distance,
+        ):
+            base = Ranking([0, 1, 2, 3])
+            d = metric(pi, base)
+            assert (d == 0) == (pi == base), (metric.__name__, pi)
+
+
+def test_max_kendall_tau_values():
+    assert max_kendall_tau(0) == 0
+    assert max_kendall_tau(1) == 0
+    assert max_kendall_tau(5) == 10
+    with pytest.raises(ValueError):
+        max_kendall_tau(-1)
+
+
+class TestWeightedKendallTau:
+    def test_uniform_weights_recover_plain_kt(self):
+        from repro.rankings.distances import weighted_kendall_tau
+
+        p, q = Ranking([2, 0, 3, 1]), Ranking([0, 1, 2, 3])
+        w = np.ones(4)
+        assert weighted_kendall_tau(p, q, w) == kendall_tau_distance(p, q)
+
+    def test_identical_zero(self):
+        from repro.rankings.distances import weighted_kendall_tau
+
+        r = Ranking([1, 0, 2])
+        assert weighted_kendall_tau(r, r) == 0.0
+
+    def test_top_swap_costs_more_than_bottom_swap(self):
+        from repro.rankings.distances import weighted_kendall_tau
+
+        base = identity(6)
+        top_swap = Ranking([1, 0, 2, 3, 4, 5])
+        bottom_swap = Ranking([0, 1, 2, 3, 5, 4])
+        assert weighted_kendall_tau(top_swap, base) > weighted_kendall_tau(
+            bottom_swap, base
+        )
+
+    def test_default_weights_are_dcg_discounts(self):
+        from repro.rankings.distances import weighted_kendall_tau
+
+        base = identity(3)
+        swapped = Ranking([1, 0, 2])
+        # Single discordant pair at positions (0, 1) in `swapped`; top
+        # position 0 has 1-based rank 1 -> weight 1/log(2).
+        assert weighted_kendall_tau(swapped, base) == pytest.approx(
+            1.0 / np.log(2)
+        )
+
+    def test_weight_validation(self):
+        from repro.rankings.distances import weighted_kendall_tau
+
+        with pytest.raises(ValueError):
+            weighted_kendall_tau(identity(3), identity(3), np.ones(2))
+        with pytest.raises(ValueError):
+            weighted_kendall_tau(identity(3), identity(3), -np.ones(3))
+
+    @given(perm6, perm6)
+    def test_symmetry_in_weighting_sense(self, p, q):
+        # Weighted KT is not symmetric in general (weights follow pi's
+        # positions) but must be non-negative and zero iff equal.
+        from repro.rankings.distances import weighted_kendall_tau
+
+        rp, rq = Ranking(np.array(p)), Ranking(np.array(q))
+        d = weighted_kendall_tau(rp, rq)
+        assert d >= 0.0
+        assert (d == 0.0) == (rp == rq)

@@ -1,0 +1,63 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The examples double as documentation; breaking one silently would be worse
+than the few seconds these tests cost.  Only the quick examples are run —
+the heavier studies are exercised through the experiment tests instead.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _load_example(name: str):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, f"{name}.py"))
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        _load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Infeasible Index" in out
+        assert "theta sweep" in out
+
+    def test_rank_aggregation_pipeline(self, capsys):
+        _load_example("rank_aggregation_pipeline").main()
+        out = capsys.readouterr().out
+        assert "Kemeny (exact)" in out
+        assert "Mallows (attribute-blind)" in out
+
+    def test_hr_shortlisting(self, capsys):
+        _load_example("hr_shortlisting").main()
+        out = capsys.readouterr().out
+        assert "representation" in out
+        assert "DetConstSort" in out
+
+
+class TestExampleFilesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "hr_shortlisting",
+            "german_credit_study",
+            "robustness_unknown_attribute",
+            "rank_aggregation_pipeline",
+            "tradeoff_frontier",
+        ],
+    )
+    def test_present_and_has_main(self, name):
+        path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+        assert os.path.isfile(path)
+        with open(path) as f:
+            source = f.read()
+        assert "def main()" in source
+        assert '__main__' in source

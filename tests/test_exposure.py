@@ -1,0 +1,129 @@
+"""Tests for exposure-based group fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.fairness.exposure import (
+    disparate_treatment,
+    exposure_parity_gap,
+    exposure_parity_ratio,
+    expected_exposure_under_mallows,
+    group_exposures,
+)
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking, random_ranking
+from repro.rankings.quality import exposure, position_discounts
+
+
+@pytest.fixture
+def blocked_groups():
+    return GroupAssignment(["a"] * 5 + ["b"] * 5)
+
+
+class TestGroupExposures:
+    def test_total_matches_item_exposure(self, blocked_groups):
+        r = random_ranking(10, seed=0)
+        per_group = group_exposures(r, blocked_groups)
+        sizes = blocked_groups.group_sizes
+        assert (per_group * sizes).sum() == pytest.approx(exposure(r).sum())
+
+    def test_segregated_favours_top_group(self, blocked_groups):
+        seg = Ranking(np.arange(10))  # group a occupies the top half
+        per_group = group_exposures(seg, blocked_groups)
+        assert per_group[0] > per_group[1]
+
+    def test_alternating_nearly_equal(self, blocked_groups):
+        alt = Ranking([0, 5, 1, 6, 2, 7, 3, 8, 4, 9])
+        per_group = group_exposures(alt, blocked_groups)
+        # Group a holds the odd positions (1st, 3rd, ...) so it is slightly
+        # ahead, but the gap is small.
+        assert per_group[0] > per_group[1]
+        assert per_group[0] - per_group[1] < 0.15
+
+    def test_topk_cutoff(self, blocked_groups):
+        seg = Ranking(np.arange(10))
+        per_group = group_exposures(seg, blocked_groups, k=5)
+        assert per_group[1] == 0.0  # group b entirely below the cut
+
+    def test_empty_group_zero(self):
+        ga = GroupAssignment.from_indices(np.array([0, 0, 0]), n_groups=2)
+        per_group = group_exposures(Ranking([0, 1, 2]), ga)
+        assert per_group[1] == 0.0
+
+
+class TestParityMetrics:
+    def test_gap_zero_iff_equal(self):
+        # Two groups, one item each, same position impossible — use a
+        # 2-item ranking where both exposures differ.
+        ga = GroupAssignment(["a", "b"])
+        r = Ranking([0, 1])
+        assert exposure_parity_gap(r, ga) > 0
+
+    def test_gap_on_segregated_vs_alternating(self, blocked_groups):
+        seg = Ranking(np.arange(10))
+        alt = Ranking([0, 5, 1, 6, 2, 7, 3, 8, 4, 9])
+        assert exposure_parity_gap(seg, blocked_groups) > exposure_parity_gap(
+            alt, blocked_groups
+        )
+
+    def test_ratio_bounds(self, blocked_groups):
+        for seed in range(10):
+            r = random_ranking(10, seed=seed)
+            ratio = exposure_parity_ratio(r, blocked_groups)
+            assert 0.0 <= ratio <= 1.0
+
+    def test_ratio_single_group(self):
+        ga = GroupAssignment(["a", "a"])
+        assert exposure_parity_ratio(Ranking([0, 1]), ga) == 1.0
+
+    def test_topk_ratio_zero_when_excluded(self, blocked_groups):
+        seg = Ranking(np.arange(10))
+        assert exposure_parity_ratio(seg, blocked_groups, k=5) == 0.0
+
+
+class TestDisparateTreatment:
+    def test_equal_relevance_reduces_to_parity(self, blocked_groups):
+        r = Ranking(np.arange(10))
+        result = disparate_treatment(r, blocked_groups, np.ones(10))
+        per_group = group_exposures(r, blocked_groups)
+        expected = per_group.min() / per_group.max()
+        assert result.ratio == pytest.approx(expected)
+
+    def test_merit_proportional_exposure_scores_high(self):
+        # Group a has twice the relevance and sits on top: exposure tracks
+        # relevance, so treatment is closer to parity than raw exposure.
+        ga = GroupAssignment(["a", "a", "b", "b"])
+        r = Ranking([0, 1, 2, 3])
+        rel = np.array([2.0, 2.0, 1.0, 1.0])
+        treat = disparate_treatment(r, ga, rel)
+        raw = exposure_parity_ratio(r, ga)
+        assert treat.ratio > raw
+
+    def test_rejects_negative_relevance(self, blocked_groups):
+        with pytest.raises(ValueError):
+            disparate_treatment(
+                Ranking(np.arange(10)), blocked_groups, -np.ones(10)
+            )
+
+    def test_nan_for_zero_relevance_group(self):
+        ga = GroupAssignment(["a", "b"])
+        result = disparate_treatment(Ranking([0, 1]), ga, np.array([1.0, 0.0]))
+        assert np.isnan(result.exposure_per_relevance[1])
+
+
+class TestMallowsExposure:
+    def test_noise_reduces_exposure_gap(self, blocked_groups):
+        seg = Ranking(np.arange(10))
+        base_gap = exposure_parity_gap(seg, blocked_groups)
+        noisy = expected_exposure_under_mallows(
+            seg, theta=0.2, groups=blocked_groups, m=300, seed=0
+        )
+        noisy_gap = float(noisy.max() - noisy.min())
+        assert noisy_gap < base_gap
+
+    def test_huge_theta_keeps_center_exposure(self, blocked_groups):
+        seg = Ranking(np.arange(10))
+        noisy = expected_exposure_under_mallows(
+            seg, theta=40.0, groups=blocked_groups, m=50, seed=1
+        )
+        assert np.allclose(noisy, group_exposures(seg, blocked_groups))

@@ -1,0 +1,165 @@
+"""Failure-injection tests: degenerate inputs, infeasible constraints, and
+adversarial configurations across every algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import FairRankingProblem
+from repro.algorithms.binary_ipf import GrBinaryIPF
+from repro.algorithms.detconstsort import DetConstSort
+from repro.algorithms.dp import DpFairRanking
+from repro.algorithms.gmm_postprocess import GeneralizedMallowsFairRanking
+from repro.algorithms.ilp import IlpFairRanking
+from repro.algorithms.ipf import ApproxMultiValuedIPF
+from repro.algorithms.mallows_postprocess import MallowsFairRanking
+from repro.exceptions import InfeasibleProblemError
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.construction import weakly_fair_ranking
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking
+
+ALL_ALGORITHMS = [
+    MallowsFairRanking(0.5, 3),
+    GeneralizedMallowsFairRanking(0.5, 3),
+    DetConstSort(),
+    ApproxMultiValuedIPF(),
+    DpFairRanking(),
+    IlpFairRanking(),
+]
+
+
+def make_problem(n, groups, scores=None, constraints=None):
+    scores = np.linspace(1.0, 0.1, n) if scores is None else scores
+    return FairRankingProblem.from_scores(scores, groups, constraints)
+
+
+class TestSingleGroup:
+    """One group: every ranking is trivially fair; the algorithms must
+    return score order (or a permutation, for the randomized ones)."""
+
+    @pytest.mark.parametrize(
+        "alg", ALL_ALGORITHMS, ids=lambda a: type(a).__name__
+    )
+    def test_runs(self, alg):
+        ga = GroupAssignment(["only"] * 6)
+        problem = make_problem(6, ga)
+        result = alg.rank(problem, seed=0)
+        assert sorted(result.ranking.order.tolist()) == list(range(6))
+
+    def test_exact_solvers_return_score_order(self):
+        ga = GroupAssignment(["only"] * 6)
+        problem = make_problem(6, ga)
+        for alg in (DpFairRanking(), IlpFairRanking()):
+            result = alg.rank(problem, seed=0)
+            assert result.ranking == problem.base_ranking
+
+
+class TestSingletonGroups:
+    """Every item its own group: proportional bounds make most prefixes
+    infeasible to violate or satisfy non-trivially."""
+
+    def test_exact_solver_still_finds_a_ranking(self):
+        ga = GroupAssignment([f"g{i}" for i in range(5)])
+        problem = make_problem(5, ga)
+        result = DpFairRanking().rank(problem, seed=0)
+        assert sorted(result.ranking.order.tolist()) == list(range(5))
+
+    def test_ipf_handles_singletons(self):
+        ga = GroupAssignment([f"g{i}" for i in range(5)])
+        problem = make_problem(5, ga)
+        result = ApproxMultiValuedIPF().rank(problem, seed=0)
+        assert sorted(result.ranking.order.tolist()) == list(range(5))
+
+
+class TestTinyInstances:
+    @pytest.mark.parametrize(
+        "alg", ALL_ALGORITHMS, ids=lambda a: type(a).__name__
+    )
+    def test_two_items(self, alg):
+        ga = GroupAssignment(["a", "b"])
+        problem = make_problem(2, ga)
+        result = alg.rank(problem, seed=0)
+        assert sorted(result.ranking.order.tolist()) == [0, 1]
+
+    def test_single_item(self):
+        ga = GroupAssignment(["a"])
+        problem = make_problem(1, ga)
+        for alg in (MallowsFairRanking(1.0), DetConstSort(), DpFairRanking()):
+            assert alg.rank(problem, seed=0).ranking == Ranking([0])
+
+
+class TestInfeasibleConstraints:
+    """Bounds demanding more than a group can supply must raise cleanly."""
+
+    def test_floor_exceeds_group_size(self):
+        ga = GroupAssignment(["a", "b", "b", "b"])
+        # Group a (one member) must fill >= 75% of every prefix.
+        fc = FairnessConstraints.from_rates([1.0, 1.0], [0.75, 0.0])
+        problem = make_problem(4, ga, constraints=fc)
+        for alg in (DpFairRanking(), IlpFairRanking(), ApproxMultiValuedIPF()):
+            with pytest.raises(InfeasibleProblemError):
+                alg.rank(problem, seed=0)
+
+    def test_construction_raises_on_infeasible(self):
+        ga = GroupAssignment(["a", "b", "b", "b"])
+        fc = FairnessConstraints.from_rates([1.0, 1.0], [0.75, 0.0])
+        with pytest.raises(InfeasibleProblemError):
+            weakly_fair_ranking(np.ones(4), ga, fc)
+
+    def test_soft_mode_survives_infeasible(self):
+        ga = GroupAssignment(["a", "b", "b", "b"])
+        fc = FairnessConstraints.from_rates([1.0, 1.0], [0.75, 0.0])
+        ranking = weakly_fair_ranking(np.ones(4), ga, fc, strong=False)
+        assert sorted(ranking.order.tolist()) == [0, 1, 2, 3]
+
+    def test_zero_upper_bound_blocks_group(self):
+        # Group a may never appear in any prefix — impossible for a full
+        # ranking containing group-a items.
+        ga = GroupAssignment(["a", "b"])
+        fc = FairnessConstraints.from_rates([0.0, 1.0], [0.0, 0.0])
+        problem = make_problem(2, ga, constraints=fc)
+        with pytest.raises(InfeasibleProblemError):
+            DpFairRanking().rank(problem, seed=0)
+
+
+class TestAdversarialScores:
+    def test_all_equal_scores(self):
+        ga = GroupAssignment(["a", "b"] * 4)
+        problem = make_problem(8, ga, scores=np.ones(8))
+        for alg in ALL_ALGORITHMS:
+            result = alg.rank(problem, seed=0)
+            assert sorted(result.ranking.order.tolist()) == list(range(8))
+
+    def test_negative_scores(self):
+        ga = GroupAssignment(["a", "b"] * 3)
+        scores = -np.linspace(1.0, 2.0, 6)
+        problem = make_problem(6, ga, scores=scores)
+        result = DpFairRanking().rank(problem, seed=0)
+        assert sorted(result.ranking.order.tolist()) == list(range(6))
+
+    def test_huge_score_range(self):
+        ga = GroupAssignment(["a", "b"] * 3)
+        scores = np.array([1e12, 1e-12, 1e6, 1.0, 1e-6, 1e9])
+        problem = make_problem(6, ga, scores=scores)
+        for alg in (DetConstSort(), ApproxMultiValuedIPF(), DpFairRanking()):
+            result = alg.rank(problem, seed=0)
+            assert sorted(result.ranking.order.tolist()) == list(range(6))
+
+
+class TestNoiseExtremes:
+    def test_enormous_sigma_still_valid(self):
+        ga = GroupAssignment(["a", "b"] * 5)
+        problem = make_problem(10, ga)
+        for alg in (
+            DetConstSort(noise_sigma=100.0),
+            ApproxMultiValuedIPF(noise_sigma=100.0),
+            DpFairRanking(noise_sigma=100.0),
+        ):
+            result = alg.rank(problem, seed=0)
+            assert sorted(result.ranking.order.tolist()) == list(range(10))
+
+    def test_gr_binary_rejects_three_groups_clearly(self):
+        ga = GroupAssignment(["a", "b", "c"])
+        problem = make_problem(3, ga)
+        with pytest.raises(ValueError, match="2 groups"):
+            GrBinaryIPF().rank(problem)

@@ -1,0 +1,104 @@
+"""Tests for the fairness/efficiency trade-off frontier."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.frontier import (
+    FrontierPoint,
+    _mark_pareto,
+    compute_tradeoff_frontier,
+)
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking
+
+
+@pytest.fixture
+def unfair_setup():
+    """Segregated centre: group b outscores group a everywhere."""
+    ga = GroupAssignment(["a"] * 5 + ["b"] * 5)
+    scores = np.concatenate(
+        [np.linspace(0.4, 0.1, 5), np.linspace(1.0, 0.6, 5)]
+    )
+    center = Ranking(np.argsort(-scores, kind="stable"))
+    return center, scores, ga
+
+
+class TestParetoMask:
+    def test_single_point(self):
+        assert _mark_pareto(np.array([1.0]), np.array([0.5])).tolist() == [True]
+
+    def test_dominated_point(self):
+        unf = np.array([1.0, 2.0])
+        ndcg = np.array([0.9, 0.8])
+        assert _mark_pareto(unf, ndcg).tolist() == [True, False]
+
+    def test_incomparable_points(self):
+        unf = np.array([1.0, 2.0])
+        ndcg = np.array([0.8, 0.9])
+        assert _mark_pareto(unf, ndcg).tolist() == [True, True]
+
+    def test_duplicates_survive(self):
+        unf = np.array([1.0, 1.0])
+        ndcg = np.array([0.9, 0.9])
+        assert _mark_pareto(unf, ndcg).tolist() == [True, True]
+
+
+class TestFrontier:
+    def test_monotone_trends(self, unfair_setup):
+        center, scores, ga = unfair_setup
+        frontier = compute_tradeoff_frontier(
+            center, scores, ga, thetas=(0.1, 0.5, 2.0), m=300, seed=0
+        )
+        ndcgs = [p.ndcg for p in frontier.points]
+        unfs = [p.unfairness for p in frontier.points]
+        assert ndcgs == sorted(ndcgs)       # efficiency grows with theta
+        assert unfs == sorted(unfs)         # unfairness grows too (unfair centre)
+
+    def test_all_points_pareto_when_monotone(self, unfair_setup):
+        center, scores, ga = unfair_setup
+        frontier = compute_tradeoff_frontier(
+            center, scores, ga, thetas=(0.1, 0.5, 2.0), m=300, seed=0
+        )
+        assert all(p.pareto for p in frontier.points)
+        assert frontier.pareto_points() == list(frontier.points)
+
+    def test_best_theta_respects_budget(self, unfair_setup):
+        center, scores, ga = unfair_setup
+        frontier = compute_tradeoff_frontier(
+            center, scores, ga, thetas=(0.1, 0.5, 2.0), m=300, seed=0
+        )
+        mid_budget = frontier.points[1].unfairness
+        best = frontier.best_theta(mid_budget)
+        assert best == 0.5
+
+    def test_best_theta_none_when_infeasible(self, unfair_setup):
+        center, scores, ga = unfair_setup
+        frontier = compute_tradeoff_frontier(
+            center, scores, ga, thetas=(1.0,), m=200, seed=0
+        )
+        assert frontier.best_theta(-1.0) is None
+
+    def test_exposure_metric(self, unfair_setup):
+        center, scores, ga = unfair_setup
+        frontier = compute_tradeoff_frontier(
+            center, scores, ga, thetas=(0.1, 2.0), m=200,
+            metric="exposure-gap", seed=1,
+        )
+        # Exposure gap grows with theta around a segregated centre.
+        assert frontier.points[0].unfairness < frontier.points[1].unfairness
+        assert frontier.metric == "exposure-gap"
+
+    def test_to_text(self, unfair_setup):
+        center, scores, ga = unfair_setup
+        frontier = compute_tradeoff_frontier(
+            center, scores, ga, thetas=(0.5,), m=100, seed=0
+        )
+        text = frontier.to_text()
+        assert "theta" in text and "pareto" in text
+
+    def test_validation(self, unfair_setup):
+        center, scores, ga = unfair_setup
+        with pytest.raises(ValueError):
+            compute_tradeoff_frontier(center, scores, ga, metric="nope")
+        with pytest.raises(ValueError):
+            compute_tradeoff_frontier(center, scores, ga, m=0)

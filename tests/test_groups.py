@@ -1,0 +1,151 @@
+"""Tests for GroupAssignment and proportion vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GroupAssignmentError, InvalidConstraintError
+from repro.groups.attributes import GroupAssignment, combine_attributes
+from repro.groups.proportions import proportional_bounds, relaxed_proportional_bounds
+
+
+class TestGroupAssignment:
+    def test_basic(self):
+        ga = GroupAssignment(["b", "a", "b", "b"])
+        assert ga.n_items == 4
+        assert ga.n_groups == 2
+        assert ga.labels == ("a", "b")
+        assert ga.group_sizes.tolist() == [1, 3]
+
+    def test_empty_raises(self):
+        with pytest.raises(GroupAssignmentError):
+            GroupAssignment([])
+
+    def test_proportions_sum_to_one(self):
+        ga = GroupAssignment(["x"] * 3 + ["y"] * 7)
+        assert ga.proportions.sum() == pytest.approx(1.0)
+        assert ga.proportions.tolist() == [0.3, 0.7]
+
+    def test_group_of(self):
+        ga = GroupAssignment(["a", "b", "a"])
+        assert ga.group_of(0) == "a"
+        assert ga.group_of(1) == "b"
+
+    def test_members(self):
+        ga = GroupAssignment(["a", "b", "a"])
+        assert ga.members("a").tolist() == [0, 2]
+
+    def test_unknown_label(self):
+        ga = GroupAssignment(["a"])
+        with pytest.raises(GroupAssignmentError):
+            ga.members("zzz")
+
+    def test_int_labels(self):
+        ga = GroupAssignment([10, 20, 10])
+        assert ga.n_groups == 2
+        assert ga.group_of(1) == 20
+
+    def test_indices_read_only(self):
+        ga = GroupAssignment(["a", "b"])
+        with pytest.raises(ValueError):
+            ga.indices[0] = 1
+
+    def test_from_indices(self):
+        ga = GroupAssignment.from_indices(np.array([0, 1, 1, 0]))
+        assert ga.n_groups == 2
+        assert ga.group_sizes.tolist() == [2, 2]
+
+    def test_from_indices_declared_empty_groups(self):
+        ga = GroupAssignment.from_indices(np.array([0, 0]), n_groups=3)
+        assert ga.n_groups == 3
+        assert ga.group_sizes.tolist() == [2, 0, 0]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(GroupAssignmentError):
+            GroupAssignment.from_indices(np.array([0, 5]), n_groups=2)
+
+    def test_from_indices_negative(self):
+        with pytest.raises(GroupAssignmentError):
+            GroupAssignment.from_indices(np.array([-1, 0]))
+
+    def test_from_indices_empty(self):
+        with pytest.raises(GroupAssignmentError):
+            GroupAssignment.from_indices(np.array([], dtype=np.int64))
+
+    def test_subset_keeps_group_space(self):
+        ga = GroupAssignment(["a", "b", "c", "a"])
+        sub = ga.subset([0, 3])
+        assert sub.n_items == 2
+        assert sub.n_groups == 3  # 'b' and 'c' slots preserved
+        assert sub.group_sizes.tolist() == [2, 0, 0]
+
+    def test_equality(self):
+        assert GroupAssignment(["a", "b"]) == GroupAssignment(["a", "b"])
+        assert GroupAssignment(["a", "b"]) != GroupAssignment(["b", "a"])
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30))
+    def test_property_sizes_sum_to_n(self, labels):
+        ga = GroupAssignment(labels)
+        assert ga.group_sizes.sum() == ga.n_items
+
+
+class TestCombineAttributes:
+    def test_cross_product_labels(self):
+        sex = GroupAssignment(["f", "m", "f", "m"])
+        age = GroupAssignment(["<35", "<35", ">=35", ">=35"])
+        combined = combine_attributes(sex, age)
+        assert combined.n_groups == 4
+        assert combined.group_of(0) == ("f", "<35")
+        assert combined.group_of(3) == ("m", ">=35")
+
+    def test_single_attribute_identity_structure(self):
+        a = GroupAssignment(["x", "y"])
+        c = combine_attributes(a)
+        assert c.n_groups == 2
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(GroupAssignmentError):
+            combine_attributes(GroupAssignment(["a"]), GroupAssignment(["a", "b"]))
+
+    def test_no_assignments(self):
+        with pytest.raises(GroupAssignmentError):
+            combine_attributes()
+
+    def test_only_observed_combinations_counted(self):
+        # 2x2 potential, only 2 observed.
+        a = GroupAssignment(["x", "y"])
+        b = GroupAssignment(["u", "v"])
+        c = combine_attributes(a, b)
+        assert c.n_groups == 2
+
+
+class TestProportions:
+    def test_proportional_bounds_equal(self):
+        ga = GroupAssignment(["a"] * 2 + ["b"] * 8)
+        alpha, beta = proportional_bounds(ga)
+        assert np.array_equal(alpha, beta)
+        assert alpha.tolist() == [0.2, 0.8]
+
+    def test_relaxed_widen(self):
+        ga = GroupAssignment(["a"] * 5 + ["b"] * 5)
+        alpha, beta = relaxed_proportional_bounds(ga, 0.2)
+        assert np.all(alpha >= 0.5)
+        assert np.all(beta <= 0.5)
+
+    def test_relaxed_zero_slack(self):
+        ga = GroupAssignment(["a", "b"])
+        alpha, beta = relaxed_proportional_bounds(ga, 0.0)
+        a2, b2 = proportional_bounds(ga)
+        assert np.allclose(alpha, a2)
+        assert np.allclose(beta, b2)
+
+    def test_relaxed_invalid_slack(self):
+        ga = GroupAssignment(["a", "b"])
+        with pytest.raises(InvalidConstraintError):
+            relaxed_proportional_bounds(ga, 1.5)
+
+    def test_relaxed_clipped_to_unit(self):
+        ga = GroupAssignment(["a"] * 9 + ["b"])
+        alpha, _beta = relaxed_proportional_bounds(ga, 1.0)
+        assert np.all(alpha <= 1.0)

@@ -1,0 +1,124 @@
+"""Tests for the statistical fairness-guarantee utilities."""
+
+import numpy as np
+import pytest
+
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.guarantees import (
+    estimate_fairness_probability,
+    expected_infeasible_index,
+    infeasible_index_tail_bound,
+    sample_budget_for_confidence,
+)
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking
+
+
+@pytest.fixture
+def alternating_center():
+    ga = GroupAssignment.from_indices(np.array([i % 2 for i in range(10)]))
+    return Ranking(np.arange(10)), ga
+
+
+@pytest.fixture
+def segregated_center():
+    ga = GroupAssignment.from_indices(np.array([i % 2 for i in range(10)]))
+    order = np.concatenate([np.arange(0, 10, 2), np.arange(1, 10, 2)])
+    return Ranking(order), ga
+
+
+class TestProbabilityEstimate:
+    def test_fair_center_high_theta_prob_one(self, alternating_center):
+        center, ga = alternating_center
+        est = estimate_fairness_probability(center, 30.0, ga, m=300, seed=0)
+        assert est.estimate == 1.0
+        assert est.high == 1.0
+
+    def test_unfair_center_high_theta_prob_zero(self, segregated_center):
+        center, ga = segregated_center
+        est = estimate_fairness_probability(center, 30.0, ga, m=300, seed=0)
+        assert est.estimate == 0.0
+        assert est.low == 0.0
+
+    def test_interval_contains_estimate(self, segregated_center):
+        center, ga = segregated_center
+        est = estimate_fairness_probability(
+            center, 0.3, ga, max_infeasible_index=6, m=500, seed=1
+        )
+        assert est.low <= est.estimate <= est.high
+        assert 0.0 <= est.low and est.high <= 1.0
+
+    def test_relaxed_threshold_monotone(self, segregated_center):
+        center, ga = segregated_center
+        tight = estimate_fairness_probability(
+            center, 0.5, ga, max_infeasible_index=2, m=800, seed=2
+        )
+        loose = estimate_fairness_probability(
+            center, 0.5, ga, max_infeasible_index=10, m=800, seed=2
+        )
+        assert loose.estimate >= tight.estimate
+
+    def test_validation(self, alternating_center):
+        center, ga = alternating_center
+        with pytest.raises(ValueError):
+            estimate_fairness_probability(center, 1.0, ga, m=0)
+        with pytest.raises(ValueError):
+            estimate_fairness_probability(center, 1.0, ga, confidence=1.5)
+
+
+class TestExpectedIiAndTailBound:
+    def test_expected_ii_between_extremes(self, segregated_center):
+        center, ga = segregated_center
+        low_noise = expected_infeasible_index(center, 4.0, ga, m=500, seed=0)
+        high_noise = expected_infeasible_index(center, 0.1, ga, m=500, seed=0)
+        assert high_noise < low_noise  # noise repairs the unfair centre
+
+    def test_markov_bound_holds_empirically(self, segregated_center):
+        center, ga = segregated_center
+        fc = FairnessConstraints.proportional(ga)
+        exp_ii = expected_infeasible_index(center, 0.5, ga, fc, m=3000, seed=3)
+        threshold = 12.0
+        bound = infeasible_index_tail_bound(exp_ii, threshold)
+        # Empirical tail probability must respect the Markov bound.
+        from repro.algorithms.criteria import batch_infeasible_index
+        from repro.mallows.sampling import sample_mallows_batch
+
+        orders = sample_mallows_batch(center, 0.5, 3000, seed=4)
+        tail = float(
+            (batch_infeasible_index(orders, ga, fc) >= threshold).mean()
+        )
+        assert tail <= bound + 0.02
+
+    def test_bound_clipped_and_validated(self):
+        assert infeasible_index_tail_bound(100.0, 1.0) == 1.0
+        with pytest.raises(ValueError):
+            infeasible_index_tail_bound(1.0, 0.0)
+        with pytest.raises(ValueError):
+            infeasible_index_tail_bound(-1.0, 1.0)
+
+
+class TestSampleBudget:
+    def test_known_values(self):
+        # p = 0.5, delta = 0.01 -> m = ceil(ln .01 / ln .5) = 7.
+        assert sample_budget_for_confidence(0.5, 0.01) == 7
+        assert sample_budget_for_confidence(1.0, 0.01) == 1
+
+    def test_budget_guarantee_holds(self):
+        p, delta = 0.3, 0.05
+        m = sample_budget_for_confidence(p, delta)
+        assert 1 - (1 - p) ** m >= 1 - delta
+        assert 1 - (1 - p) ** (m - 1) < 1 - delta
+
+    def test_paper_budget_15(self):
+        # The paper's m = 15 guarantees >= 95% success whenever each sample
+        # is fair with probability >= 0.19.
+        m = sample_budget_for_confidence(0.19, 0.05)
+        assert m <= 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_budget_for_confidence(0.0, 0.1)
+        with pytest.raises(ValueError):
+            sample_budget_for_confidence(0.5, 0.0)
+        with pytest.raises(ValueError):
+            sample_budget_for_confidence(1.5, 0.1)

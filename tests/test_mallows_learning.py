@@ -1,0 +1,89 @@
+"""Tests for Mallows centre estimation and dispersion MLE."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.mallows.learning import (
+    estimate_center_borda,
+    estimate_center_copeland,
+    fit_mallows,
+    fit_theta_mle,
+)
+from repro.mallows.model import expected_kendall_tau
+from repro.mallows.sampling import sample_mallows
+from repro.rankings.distances import kendall_tau_distance
+from repro.rankings.permutation import Ranking, identity, random_ranking
+
+
+class TestCenterEstimation:
+    def test_borda_recovers_center(self):
+        center = random_ranking(8, seed=1)
+        samples = sample_mallows(center, theta=2.0, m=300, seed=0)
+        assert estimate_center_borda(samples) == center
+
+    def test_copeland_recovers_center(self):
+        center = random_ranking(8, seed=2)
+        samples = sample_mallows(center, theta=2.0, m=300, seed=0)
+        assert estimate_center_copeland(samples) == center
+
+    def test_single_ranking_is_its_own_center(self):
+        r = random_ranking(6, seed=3)
+        assert estimate_center_borda([r]) == r
+        assert estimate_center_copeland([r]) == r
+
+    def test_empty_raises(self):
+        with pytest.raises(EstimationError):
+            estimate_center_borda([])
+        with pytest.raises(EstimationError):
+            estimate_center_copeland([])
+
+    def test_mixed_lengths_raise(self):
+        with pytest.raises(EstimationError):
+            estimate_center_borda([identity(3), identity(4)])
+
+
+class TestThetaMle:
+    def test_recovers_theta(self):
+        center = identity(12)
+        for true_theta in (0.5, 1.0, 2.0):
+            samples = sample_mallows(center, true_theta, m=2000, seed=7)
+            est = fit_theta_mle(samples, center)
+            assert est == pytest.approx(true_theta, rel=0.15)
+
+    def test_all_identical_gives_huge_theta(self):
+        center = identity(6)
+        est = fit_theta_mle([center] * 10, center)
+        assert est >= 10.0
+
+    def test_uniformlike_data_gives_zero(self):
+        # Samples at reversal distance exceed the uniform mean: theta = 0.
+        center = identity(6)
+        rev = Ranking(np.arange(6)[::-1])
+        assert fit_theta_mle([rev] * 5, center) == 0.0
+
+    def test_solution_solves_moment_equation(self):
+        center = identity(10)
+        samples = sample_mallows(center, 1.3, m=500, seed=5)
+        est = fit_theta_mle(samples, center)
+        d_bar = np.mean([kendall_tau_distance(r, center) for r in samples])
+        assert expected_kendall_tau(10, est) == pytest.approx(d_bar, abs=1e-5)
+
+    def test_empty_raises(self):
+        with pytest.raises(EstimationError):
+            fit_theta_mle([], identity(3))
+
+
+class TestFitMallows:
+    def test_joint_fit(self):
+        center = random_ranking(10, seed=8)
+        samples = sample_mallows(center, 1.5, m=800, seed=9)
+        model = fit_mallows(samples)
+        assert model.center == center
+        assert model.theta == pytest.approx(1.5, rel=0.2)
+
+    def test_explicit_center_respected(self):
+        center = identity(5)
+        samples = sample_mallows(center, 1.0, m=100, seed=0)
+        model = fit_mallows(samples, center=center)
+        assert model.center == center

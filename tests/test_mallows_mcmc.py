@@ -1,0 +1,111 @@
+"""Tests for the MCMC Mallows sampler and alternative noise models."""
+
+import numpy as np
+import pytest
+
+from repro.mallows.mcmc import (
+    plackett_luce_noise,
+    random_adjacent_swaps,
+    sample_mallows_mcmc,
+)
+from repro.mallows.model import expected_kendall_tau
+from repro.rankings.distances import footrule_distance, kendall_tau_distance
+from repro.rankings.permutation import Ranking, identity, random_ranking
+
+
+class TestMcmcSampler:
+    def test_returns_valid_rankings(self):
+        samples = sample_mallows_mcmc(
+            identity(6), 1.0, 10, kendall_tau_distance, burn_in=100, thin=5, seed=0
+        )
+        assert len(samples) == 10
+        assert all(sorted(r.order.tolist()) == list(range(6)) for r in samples)
+
+    def test_kt_target_matches_rim_statistics(self):
+        # The MCMC chain targeting the KT Mallows law should reproduce the
+        # closed-form expected distance.
+        n, theta = 6, 1.0
+        center = identity(n)
+        samples = sample_mallows_mcmc(
+            center, theta, 400, kendall_tau_distance, burn_in=2000, thin=20, seed=1
+        )
+        mean_d = np.mean([kendall_tau_distance(r, center) for r in samples])
+        assert mean_d == pytest.approx(expected_kendall_tau(n, theta), abs=0.8)
+
+    def test_footrule_distance_supported(self):
+        center = identity(5)
+        samples = sample_mallows_mcmc(
+            center, 0.8, 50, footrule_distance, burn_in=500, thin=5, seed=2
+        )
+        # High-theta footrule Mallows concentrates near the centre.
+        mean_d = np.mean([footrule_distance(r, center) for r in samples])
+        uniform_mean = np.mean(
+            [footrule_distance(random_ranking(5, seed=s), center) for s in range(200)]
+        )
+        assert mean_d < uniform_mean
+
+    def test_zero_samples(self):
+        assert sample_mallows_mcmc(identity(4), 1.0, 0, kendall_tau_distance) == []
+
+    def test_tiny_center(self):
+        samples = sample_mallows_mcmc(identity(1), 1.0, 3, kendall_tau_distance)
+        assert len(samples) == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sample_mallows_mcmc(identity(3), -1.0, 1, kendall_tau_distance)
+        with pytest.raises(ValueError):
+            sample_mallows_mcmc(identity(3), 1.0, 1, kendall_tau_distance, thin=0)
+        with pytest.raises(ValueError):
+            sample_mallows_mcmc(identity(3), 1.0, -1, kendall_tau_distance)
+
+
+class TestPlackettLuce:
+    def test_valid_rankings(self):
+        samples = plackett_luce_noise(identity(7), 0.5, 20, seed=0)
+        assert len(samples) == 20
+        assert all(sorted(r.order.tolist()) == list(range(7)) for r in samples)
+
+    def test_small_strength_concentrates(self):
+        center = random_ranking(8, seed=1)
+        tight = plackett_luce_noise(center, 0.05, 100, seed=2)
+        loose = plackett_luce_noise(center, 0.9, 100, seed=2)
+        d_tight = np.mean([kendall_tau_distance(r, center) for r in tight])
+        d_loose = np.mean([kendall_tau_distance(r, center) for r in loose])
+        assert d_tight < d_loose
+
+    def test_invalid_strength(self):
+        with pytest.raises(ValueError):
+            plackett_luce_noise(identity(3), 0.0, 1)
+        with pytest.raises(ValueError):
+            plackett_luce_noise(identity(3), 1.5, 1)
+
+    def test_negative_m(self):
+        with pytest.raises(ValueError):
+            plackett_luce_noise(identity(3), 0.5, -1)
+
+
+class TestRandomAdjacentSwaps:
+    def test_zero_swaps_is_center(self):
+        center = random_ranking(6, seed=0)
+        samples = random_adjacent_swaps(center, 0, 5, seed=1)
+        assert all(r == center for r in samples)
+
+    def test_distance_bounded_by_swaps(self):
+        center = identity(8)
+        for r in random_adjacent_swaps(center, 3, 30, seed=2):
+            assert kendall_tau_distance(r, center) <= 3
+
+    def test_more_swaps_more_distance(self):
+        center = identity(10)
+        few = random_adjacent_swaps(center, 2, 200, seed=3)
+        many = random_adjacent_swaps(center, 30, 200, seed=3)
+        assert np.mean([kendall_tau_distance(r, center) for r in few]) < np.mean(
+            [kendall_tau_distance(r, center) for r in many]
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_adjacent_swaps(identity(3), -1, 1)
+        with pytest.raises(ValueError):
+            random_adjacent_swaps(identity(3), 1, -1)

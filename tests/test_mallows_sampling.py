@@ -1,0 +1,112 @@
+"""Statistical tests of the RIM sampler against the exact Mallows law."""
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.mallows.model import MallowsModel, expected_kendall_tau
+from repro.mallows.sampling import (
+    sample_displacements_total,
+    sample_mallows,
+    sample_mallows_batch,
+)
+from repro.rankings.distances import kendall_tau_distance
+from repro.rankings.permutation import Ranking, all_rankings, identity, random_ranking
+
+
+class TestBatchShapeAndValidity:
+    def test_shapes(self):
+        orders = sample_mallows_batch(identity(7), 1.0, 13, seed=0)
+        assert orders.shape == (13, 7)
+
+    def test_rows_are_permutations(self):
+        orders = sample_mallows_batch(identity(9), 0.5, 50, seed=1)
+        for row in orders:
+            assert sorted(row.tolist()) == list(range(9))
+
+    def test_zero_samples(self):
+        assert sample_mallows_batch(identity(5), 1.0, 0).shape == (0, 5)
+
+    def test_empty_center(self):
+        assert sample_mallows_batch(Ranking([]), 1.0, 3).shape == (3, 0)
+
+    def test_reproducible(self):
+        a = sample_mallows_batch(identity(8), 0.7, 5, seed=42)
+        b = sample_mallows_batch(identity(8), 0.7, 5, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sample_mallows_batch(identity(3), -1.0, 2)
+        with pytest.raises(ValueError):
+            sample_mallows_batch(identity(3), 1.0, -2)
+
+    def test_wrapper_returns_rankings(self):
+        samples = sample_mallows(identity(4), 1.0, 3, seed=0)
+        assert all(isinstance(r, Ranking) for r in samples)
+
+    def test_huge_theta_returns_center(self):
+        center = random_ranking(10, seed=3)
+        orders = sample_mallows_batch(center, 50.0, 20, seed=0)
+        assert np.all(orders == center.order[None, :])
+
+
+class TestStatisticalLaw:
+    def test_mean_distance_matches_formula(self):
+        n, theta, m = 12, 0.8, 4000
+        center = random_ranking(n, seed=9)
+        orders = sample_mallows_batch(center, theta, m, seed=5)
+        dists = [kendall_tau_distance(Ranking(o), center) for o in orders]
+        expected = expected_kendall_tau(n, theta)
+        # Standard error of the mean is ~sigma/sqrt(m); allow 4 SEs.
+        assert np.mean(dists) == pytest.approx(expected, abs=0.35)
+
+    def test_uniform_at_theta_zero(self):
+        # theta=0 must be the uniform distribution over S_3.
+        m = 12000
+        orders = sample_mallows_batch(identity(3), 0.0, m, seed=2)
+        counts = Counter(tuple(o) for o in orders)
+        assert len(counts) == 6
+        for c in counts.values():
+            assert abs(c - m / 6) < 5 * math.sqrt(m / 6)
+
+    def test_empirical_matches_pmf_n4(self):
+        # Chi-square-style check against exact probabilities on S_4.
+        theta, m = 0.6, 30000
+        center = Ranking([2, 0, 3, 1])
+        model = MallowsModel(center=center, theta=theta)
+        orders = sample_mallows_batch(center, theta, m, seed=11)
+        counts = Counter(tuple(o) for o in orders)
+        chi2 = 0.0
+        for r in all_rankings(4):
+            expected = model.pmf(r) * m
+            observed = counts.get(tuple(r.order.tolist()), 0)
+            chi2 += (observed - expected) ** 2 / expected
+        # 23 dof; P(chi2 > 50) < 1e-3.
+        assert chi2 < 50.0
+
+    def test_distance_distribution_centerfree(self):
+        # The law of d(pi, center) must not depend on the center.
+        theta, m, n = 1.0, 3000, 8
+        d1 = sample_displacements_total(n, theta, m, seed=1)
+        orders = sample_mallows_batch(random_ranking(n, seed=4), theta, m, seed=2)
+        center = random_ranking(n, seed=4)
+        d2 = [kendall_tau_distance(Ranking(o), center) for o in orders]
+        assert np.mean(d1) == pytest.approx(np.mean(d2), abs=0.4)
+
+    def test_larger_theta_concentrates(self):
+        center = random_ranking(10, seed=0)
+        mean_d = []
+        for theta in (0.2, 1.0, 3.0):
+            orders = sample_mallows_batch(center, theta, 800, seed=7)
+            mean_d.append(
+                np.mean([kendall_tau_distance(Ranking(o), center) for o in orders])
+            )
+        assert mean_d[0] > mean_d[1] > mean_d[2]
+
+    def test_displacement_totals_match_model_mean(self):
+        n, theta = 20, 0.5
+        totals = sample_displacements_total(n, theta, 4000, seed=3)
+        assert totals.mean() == pytest.approx(expected_kendall_tau(n, theta), rel=0.03)

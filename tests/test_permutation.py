@@ -1,0 +1,180 @@
+"""Unit and property tests for the Ranking permutation type."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidPermutationError, LengthMismatchError
+from repro.rankings.permutation import Ranking, all_rankings, identity, random_ranking
+
+permutations = st.integers(min_value=0, max_value=7).map(
+    lambda n: np.random.default_rng(n).permutation(n + 1)
+)
+
+
+class TestConstruction:
+    def test_valid_order(self):
+        r = Ranking([2, 0, 1])
+        assert r.order.tolist() == [2, 0, 1]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidPermutationError):
+            Ranking([0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidPermutationError):
+            Ranking([1, 2, 3])
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidPermutationError):
+            Ranking([-1, 0, 1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidPermutationError):
+            Ranking(np.array([[0, 1], [1, 0]]))
+
+    def test_empty_ranking(self):
+        r = Ranking([])
+        assert len(r) == 0
+
+    def test_accepts_integral_floats(self):
+        r = Ranking(np.array([1.0, 0.0]))
+        assert r.order.tolist() == [1, 0]
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(InvalidPermutationError):
+            Ranking(np.array([0.5, 1.5]))
+
+    def test_from_positions_roundtrip(self):
+        r = Ranking([2, 0, 1])
+        assert Ranking.from_positions(r.positions) == r
+
+    def test_order_is_immutable(self):
+        r = Ranking([0, 1, 2])
+        with pytest.raises(ValueError):
+            r.order[0] = 5
+
+    def test_input_not_aliased(self):
+        arr = np.array([0, 1, 2])
+        r = Ranking(arr)
+        arr[0] = 99
+        assert r.order.tolist() == [0, 1, 2]
+
+
+class TestViews:
+    def test_item_at_and_position_of_are_inverse(self):
+        r = Ranking([3, 1, 0, 2])
+        for pos in range(4):
+            assert r.position_of(r.item_at(pos)) == pos
+
+    def test_positions_match_paper_sigma(self):
+        # sigma(i) = position of item i
+        r = Ranking([2, 0, 1])
+        assert r.position_of(2) == 0
+        assert r.position_of(0) == 1
+        assert r.position_of(1) == 2
+
+    def test_prefix(self):
+        r = Ranking([3, 1, 0, 2])
+        assert r.prefix(2).tolist() == [3, 1]
+
+    def test_prefix_clamps(self):
+        r = Ranking([1, 0])
+        assert r.prefix(10).tolist() == [1, 0]
+        assert r.prefix(-1).tolist() == []
+
+    def test_iter_yields_python_ints(self):
+        r = Ranking([1, 0])
+        items = list(r)
+        assert items == [1, 0]
+        assert all(isinstance(i, int) for i in items)
+
+
+class TestAlgebra:
+    def test_inverse_of_inverse(self):
+        r = Ranking([3, 1, 0, 2])
+        assert r.inverse().inverse() == r
+
+    def test_identity_compose(self):
+        r = Ranking([3, 1, 0, 2])
+        e = identity(4)
+        assert r.compose(e) == r
+        assert e.compose(r) == r
+
+    def test_compose_with_inverse_is_identity(self):
+        r = Ranking([3, 1, 0, 2])
+        assert r.compose(r.inverse()) == identity(4)
+
+    def test_compose_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            Ranking([0, 1]).compose(Ranking([0, 1, 2]))
+
+    def test_swap_positions(self):
+        r = Ranking([0, 1, 2]).swap_positions(0, 2)
+        assert r.order.tolist() == [2, 1, 0]
+
+    def test_relabel(self):
+        r = Ranking([0, 1, 2])
+        mapped = r.relabel([2, 0, 1])
+        assert mapped.order.tolist() == [2, 0, 1]
+
+    def test_relabel_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            Ranking([0, 1]).relabel([0, 1, 2])
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Ranking([1, 0, 2])
+        b = Ranking([1, 0, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Ranking([0, 1, 2])
+
+    def test_not_equal_to_other_types(self):
+        assert Ranking([0, 1]) != [0, 1]
+
+    def test_repr_roundtrip(self):
+        r = Ranking([1, 0])
+        assert eval(repr(r)) == r
+
+    def test_usable_in_sets(self):
+        s = {Ranking([0, 1]), Ranking([0, 1]), Ranking([1, 0])}
+        assert len(s) == 2
+
+
+class TestFactories:
+    def test_identity(self):
+        assert identity(4).order.tolist() == [0, 1, 2, 3]
+
+    def test_identity_negative(self):
+        with pytest.raises(ValueError):
+            identity(-1)
+
+    def test_random_ranking_is_valid_and_seeded(self):
+        a = random_ranking(20, seed=7)
+        b = random_ranking(20, seed=7)
+        assert a == b
+        assert sorted(a.order.tolist()) == list(range(20))
+
+    def test_all_rankings_count(self):
+        assert len(list(all_rankings(4))) == 24
+
+    def test_all_rankings_distinct(self):
+        rs = list(all_rankings(3))
+        assert len(set(rs)) == 6
+
+
+@given(st.permutations(list(range(6))))
+def test_property_positions_inverse(order):
+    r = Ranking(np.array(order))
+    inv = r.positions
+    assert all(inv[r.order[j]] == j for j in range(6))
+
+
+@given(st.permutations(list(range(5))), st.permutations(list(range(5))))
+def test_property_compose_associates_with_inverse(a, b):
+    ra, rb = Ranking(np.array(a)), Ranking(np.array(b))
+    # (ra ∘ rb)⁻¹ == rb⁻¹ ∘ ra⁻¹
+    assert ra.compose(rb).inverse() == rb.inverse().compose(ra.inverse())

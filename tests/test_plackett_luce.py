@@ -1,0 +1,148 @@
+"""Tests for the Plackett–Luce model: pmf, sampling law, MM-algorithm MLE."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.mallows.plackett_luce import PlackettLuceModel, fit_plackett_luce
+from repro.rankings.permutation import Ranking, all_rankings, identity, random_ranking
+
+
+class TestModelBasics:
+    def test_normalizes_worths(self):
+        model = PlackettLuceModel(worths=np.array([2.0, 6.0]))
+        assert model.worths.tolist() == [0.25, 0.75]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlackettLuceModel(worths=np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            PlackettLuceModel(worths=np.array([]))
+        with pytest.raises(ValueError):
+            PlackettLuceModel(worths=np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            PlackettLuceModel(worths=np.array([1.0, np.inf]))
+
+    def test_pmf_sums_to_one(self):
+        model = PlackettLuceModel(worths=np.array([0.5, 0.2, 0.2, 0.1]))
+        total = sum(model.pmf(r) for r in all_rankings(4))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_hand_computed_n2(self):
+        model = PlackettLuceModel(worths=np.array([0.8, 0.2]))
+        assert model.pmf(Ranking([0, 1])) == pytest.approx(0.8)
+        assert model.pmf(Ranking([1, 0])) == pytest.approx(0.2)
+
+    def test_uniform_worths_uniform_law(self):
+        model = PlackettLuceModel(worths=np.ones(3))
+        for r in all_rankings(3):
+            assert model.pmf(r) == pytest.approx(1 / 6)
+
+    def test_log_pmf_rejects_wrong_length(self):
+        model = PlackettLuceModel(worths=np.ones(3))
+        with pytest.raises(ValueError):
+            model.log_pmf(identity(4))
+
+    def test_log_likelihood_additive(self):
+        model = PlackettLuceModel(worths=np.array([0.5, 0.3, 0.2]))
+        rs = [Ranking([0, 1, 2]), Ranking([2, 1, 0])]
+        assert model.log_likelihood(rs) == pytest.approx(
+            model.log_pmf(rs[0]) + model.log_pmf(rs[1])
+        )
+
+    def test_from_center_strength_limits(self):
+        center = random_ranking(6, seed=0)
+        tight = PlackettLuceModel.from_center(center, 0.01)
+        # Most likely ranking is the centre itself.
+        assert np.argmax(tight.worths) == center.item_at(0)
+        uniform = PlackettLuceModel.from_center(center, 1.0)
+        assert np.allclose(uniform.worths, 1 / 6)
+
+    def test_from_center_invalid_strength(self):
+        with pytest.raises(ValueError):
+            PlackettLuceModel.from_center(identity(3), 0.0)
+
+    def test_top_choice_probabilities(self):
+        model = PlackettLuceModel(worths=np.array([3.0, 1.0]))
+        assert model.top_choice_probabilities().tolist() == [0.75, 0.25]
+
+
+class TestSamplingLaw:
+    def test_valid_permutations(self):
+        model = PlackettLuceModel(worths=np.array([0.5, 0.3, 0.2]))
+        orders = model.sample_orders(100, seed=0)
+        for row in orders:
+            assert sorted(row.tolist()) == [0, 1, 2]
+
+    def test_empirical_matches_pmf(self):
+        model = PlackettLuceModel(worths=np.array([0.5, 0.3, 0.2]))
+        m = 30000
+        orders = model.sample_orders(m, seed=1)
+        counts = Counter(tuple(row) for row in orders)
+        chi2 = 0.0
+        for r in all_rankings(3):
+            expected = model.pmf(r) * m
+            observed = counts.get(tuple(r.order.tolist()), 0)
+            chi2 += (observed - expected) ** 2 / expected
+        assert chi2 < 21.0  # 5 dof, P(chi2 > 21) < 1e-3
+
+    def test_top_choice_frequency(self):
+        model = PlackettLuceModel(worths=np.array([0.7, 0.2, 0.1]))
+        orders = model.sample_orders(20000, seed=2)
+        first = np.bincount(orders[:, 0], minlength=3) / 20000
+        assert np.allclose(first, model.worths, atol=0.015)
+
+    def test_reproducible(self):
+        model = PlackettLuceModel(worths=np.ones(5))
+        assert np.array_equal(
+            model.sample_orders(4, seed=7), model.sample_orders(4, seed=7)
+        )
+
+    def test_zero_and_negative(self):
+        model = PlackettLuceModel(worths=np.ones(4))
+        assert model.sample_orders(0).shape == (0, 4)
+        with pytest.raises(ValueError):
+            model.sample_orders(-1)
+
+
+class TestMle:
+    def test_recovers_worths(self):
+        true = PlackettLuceModel(worths=np.array([0.5, 0.25, 0.15, 0.1]))
+        samples = true.sample(8000, seed=3)
+        fitted = fit_plackett_luce(samples)
+        assert np.allclose(fitted.worths, true.worths, atol=0.03)
+
+    def test_likelihood_not_worse_than_truth(self):
+        true = PlackettLuceModel(worths=np.array([0.4, 0.3, 0.2, 0.1]))
+        samples = true.sample(500, seed=4)
+        fitted = fit_plackett_luce(samples)
+        assert fitted.log_likelihood(samples) >= true.log_likelihood(samples) - 1e-6
+
+    def test_uniform_data_uniform_fit(self):
+        rankings = [Ranking(p.order) for p in all_rankings(3)]
+        fitted = fit_plackett_luce(rankings * 5)
+        assert np.allclose(fitted.worths, 1 / 3, atol=1e-3)
+
+    def test_empty_raises(self):
+        with pytest.raises(EstimationError):
+            fit_plackett_luce([])
+
+    def test_mixed_lengths_raise(self):
+        with pytest.raises(EstimationError):
+            fit_plackett_luce([identity(3), identity(4)])
+
+    def test_single_item(self):
+        fitted = fit_plackett_luce([identity(1)])
+        assert fitted.worths.tolist() == [1.0]
+
+    def test_fit_from_center_noise_roundtrip(self):
+        # Samples from a centred PL noise model: the fitted worth order
+        # recovers the centre's order.
+        center = random_ranking(6, seed=5)
+        model = PlackettLuceModel.from_center(center, 0.4)
+        samples = model.sample(3000, seed=6)
+        fitted = fit_plackett_luce(samples)
+        recovered = Ranking(np.argsort(-fitted.worths, kind="stable"))
+        assert recovered == center

@@ -1,0 +1,53 @@
+"""Tests for report persistence and the CLI --output path."""
+
+import os
+
+import pytest
+
+from repro.experiments.reporting import _safe_filename, write_reports
+
+
+class TestWriteReports:
+    def test_writes_files_and_index(self, tmp_path):
+        reports = {"fig1": "series A", "fig5_theta0.5_sigma0": "series B"}
+        paths = write_reports(reports, str(tmp_path / "out"))
+        assert len(paths) == 3  # two artefacts + index
+        for p in paths:
+            assert os.path.isfile(p)
+
+    def test_contents_roundtrip(self, tmp_path):
+        out = str(tmp_path)
+        write_reports({"x": "hello\nworld"}, out)
+        with open(os.path.join(out, "x.txt")) as f:
+            assert f.read() == "hello\nworld\n"
+
+    def test_index_links_all(self, tmp_path):
+        out = str(tmp_path)
+        write_reports({"a": "1", "b": "2"}, out)
+        with open(os.path.join(out, "INDEX.md")) as f:
+            index = f.read()
+        assert "a.txt" in index and "b.txt" in index
+
+    def test_creates_nested_directory(self, tmp_path):
+        out = str(tmp_path / "deep" / "nested")
+        write_reports({"a": "1"}, out)
+        assert os.path.isfile(os.path.join(out, "a.txt"))
+
+    def test_overwrites(self, tmp_path):
+        out = str(tmp_path)
+        write_reports({"a": "old"}, out)
+        write_reports({"a": "new"}, out)
+        with open(os.path.join(out, "a.txt")) as f:
+            assert f.read().strip() == "new"
+
+
+class TestSafeFilename:
+    def test_passthrough(self):
+        assert _safe_filename("fig1") == "fig1"
+
+    def test_sanitizes(self):
+        assert "/" not in _safe_filename("a/b:c d")
+        assert _safe_filename("theta=0.5, sigma=1") == "theta_0.5__sigma_1"
+
+    def test_empty_fallback(self):
+        assert _safe_filename("...") == "report"

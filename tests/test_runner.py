@@ -1,0 +1,29 @@
+"""Tests for the end-to-end experiment runner and report persistence."""
+
+import os
+
+from repro.experiments.reporting import write_reports
+from repro.experiments.runner import PANELS, run_all
+
+
+class TestRunAll:
+    def test_fast_run_produces_all_artefacts(self):
+        messages = []
+        reports = run_all(fast=True, progress=messages.append)
+        expected = {"fig1", "fig2", "fig3", "fig4", "table1"}
+        for theta, sigma in PANELS:
+            key = f"theta{theta:g}_sigma{sigma:g}"
+            expected |= {f"fig5_{key}", f"fig6_{key}", f"fig7_{key}"}
+        assert set(reports) == expected
+        assert all(isinstance(text, str) and text for text in reports.values())
+        assert messages  # progress callback invoked
+
+    def test_reports_are_writable(self, tmp_path):
+        reports = run_all(fast=True)
+        paths = write_reports(reports, str(tmp_path / "artefacts"))
+        assert len(paths) == len(reports) + 1
+        for p in paths:
+            assert os.path.getsize(p) > 0
+
+    def test_panels_match_paper(self):
+        assert PANELS == ((0.5, 0.0), (1.0, 0.0), (0.5, 1.0), (1.0, 1.0))

@@ -1,0 +1,51 @@
+"""Tests for score-based ranking construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rankings.sorting import is_sorted_by_score, rank_by_score, scores_in_rank_order
+
+
+class TestRankByScore:
+    def test_descending(self):
+        r = rank_by_score([0.1, 0.9, 0.5])
+        assert r.order.tolist() == [1, 2, 0]
+
+    def test_stable_ties_by_index(self):
+        r = rank_by_score([1.0, 1.0, 1.0])
+        assert r.order.tolist() == [0, 1, 2]
+
+    def test_seeded_tie_break_deterministic(self):
+        a = rank_by_score([1.0] * 6, seed=5)
+        b = rank_by_score([1.0] * 6, seed=5)
+        assert a == b
+
+    def test_seeded_tie_break_randomizes(self):
+        outcomes = {tuple(rank_by_score([1.0] * 6, seed=s).order) for s in range(20)}
+        assert len(outcomes) > 1
+
+    def test_seeded_still_sorted(self):
+        scores = [0.3, 0.3, 0.9, 0.1]
+        r = rank_by_score(scores, seed=1)
+        assert is_sorted_by_score(r, scores)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rank_by_score(np.zeros((2, 2)))
+
+    @given(st.lists(st.floats(allow_nan=False, min_value=-1e6, max_value=1e6), min_size=1, max_size=30))
+    def test_property_always_sorted(self, scores):
+        assert is_sorted_by_score(rank_by_score(scores), scores)
+
+
+class TestScoresInRankOrder:
+    def test_values(self):
+        r = rank_by_score([0.1, 0.9, 0.5])
+        assert scores_in_rank_order(r, [0.1, 0.9, 0.5]).tolist() == [0.9, 0.5, 0.1]
+
+    def test_length_mismatch(self):
+        r = rank_by_score([0.1, 0.9])
+        with pytest.raises(ValueError):
+            scores_in_rank_order(r, [0.1, 0.9, 0.5])

@@ -1,0 +1,99 @@
+"""Tests for top-k list distances (Fagin et al. conventions)."""
+
+import pytest
+
+from repro.rankings.distances import footrule_distance, kendall_tau_distance
+from repro.rankings.permutation import Ranking
+from repro.rankings.topk import (
+    footrule_topk,
+    kendall_tau_topk,
+    overlap,
+    recall_at_k,
+)
+
+
+class TestKendallTauTopk:
+    def test_identical_lists(self):
+        assert kendall_tau_topk([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_same_items_reduces_to_kt(self):
+        a, b = [3, 1, 2, 0], [0, 1, 2, 3]
+        expected = kendall_tau_distance(Ranking(a), Ranking(b))
+        assert kendall_tau_topk(a, b) == expected
+
+    def test_disjoint_lists_case3_and_4(self):
+        # a = [0], b = [1]: i=0 only in a, j=1 only in b -> definite
+        # discordance (case 3): distance 1.
+        assert kendall_tau_topk([0], [1]) == 1.0
+
+    def test_case2_present_vs_missing(self):
+        # a = [0, 1], b = [0]: pair (0,1) in a; in b item 0 present, 1
+        # missing => b says 0 above 1, a agrees => 0.
+        assert kendall_tau_topk([0, 1], [0]) == 0.0
+        # a = [1, 0], b = [0]: a says 1 above 0; b implies 0 above 1 => 1.
+        assert kendall_tau_topk([1, 0], [0]) == 1.0
+
+    def test_case4_penalty(self):
+        # a = [0, 1], b = [2, 3]: pairs (0,1) and (2,3) are undetermined in
+        # one of the lists -> penalty p each; the four cross pairs are
+        # definite discordances (case 3).
+        for p in (0.0, 0.5, 1.0):
+            assert kendall_tau_topk([0, 1], [2, 3], p=p) == 4 + 2 * p
+
+    def test_penalty_bounds(self):
+        with pytest.raises(ValueError):
+            kendall_tau_topk([0], [0], p=-0.1)
+        with pytest.raises(ValueError):
+            kendall_tau_topk([0], [0], p=1.1)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_topk([0, 0], [1])
+
+    def test_symmetry(self):
+        a, b = [5, 2, 9], [2, 7, 5]
+        assert kendall_tau_topk(a, b) == kendall_tau_topk(b, a)
+
+    def test_empty_lists(self):
+        assert kendall_tau_topk([], []) == 0.0
+
+
+class TestFootruleTopk:
+    def test_identical(self):
+        assert footrule_topk([4, 2, 7], [4, 2, 7]) == 0.0
+
+    def test_same_items_reduces_to_footrule(self):
+        a, b = [3, 1, 2, 0], [0, 1, 2, 3]
+        expected = footrule_distance(Ranking(a), Ranking(b))
+        assert footrule_topk(a, b) == expected
+
+    def test_missing_item_imputed_at_location(self):
+        # a = [0], b = [1]; default location = 1.
+        # item 0: |0 - 1| = 1; item 1: |1 - 0| = 1.
+        assert footrule_topk([0], [1]) == 2.0
+
+    def test_custom_location(self):
+        assert footrule_topk([0], [1], location=5) == 10.0
+
+    def test_negative_location_rejected(self):
+        with pytest.raises(ValueError):
+            footrule_topk([0], [1], location=-1)
+
+    def test_symmetry(self):
+        a, b = [5, 2, 9], [2, 7, 5]
+        assert footrule_topk(a, b) == footrule_topk(b, a)
+
+
+class TestOverlapRecall:
+    def test_overlap_values(self):
+        assert overlap([1, 2, 3], [1, 2, 3]) == 1.0
+        assert overlap([1, 2], [3, 4]) == 0.0
+        assert overlap([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+        assert overlap([], []) == 1.0
+
+    def test_recall(self):
+        assert recall_at_k([5, 2, 9, 1], [5, 2]) == 1.0
+        # Head is {5, 2}: neither 9 nor 0 is recovered.
+        assert recall_at_k([5, 2, 9, 1], [9, 0]) == 0.0
+        assert recall_at_k([9, 5, 2], [9, 0]) == pytest.approx(0.5)
+        assert recall_at_k([1, 2, 3], []) == 1.0

@@ -1,0 +1,111 @@
+"""Tests for the top-k selection variants of the DP and ILP solvers."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import FairRankingProblem
+from repro.algorithms.dp import DpFairRanking
+from repro.algorithms.ilp import IlpFairRanking
+from repro.fairness.constraints import FairnessConstraints
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.permutation import Ranking
+from repro.rankings.quality import dcg
+
+
+def brute_force_topk_dcg(scores, groups, constraints, k):
+    """Exhaustive best DCG@k over fair k-prefixes (tiny instances only)."""
+    n = len(scores)
+    lower, upper = constraints.count_bounds_matrix(k)
+    best = -np.inf
+    for prefix in itertools.permutations(range(n), k):
+        counts = np.zeros(groups.n_groups, dtype=np.int64)
+        ok = True
+        for ell, item in enumerate(prefix, start=1):
+            counts[groups.indices[item]] += 1
+            if np.any(counts < lower[ell - 1]) or np.any(counts > upper[ell - 1]):
+                ok = False
+                break
+        if not ok:
+            continue
+        value = sum(
+            scores[item] / np.log1p(j + 1) for j, item in enumerate(prefix)
+        )
+        best = max(best, value)
+    return best
+
+
+@pytest.fixture
+def instance(rng):
+    ga = GroupAssignment(["a", "a", "a", "b", "b", "b", "b"])
+    scores = rng.random(7)
+    fc = FairnessConstraints.proportional(ga)
+    return FairRankingProblem.from_scores(scores, ga, fc)
+
+
+class TestTopKDp:
+    def test_matches_brute_force(self, instance):
+        for k in (2, 3, 4):
+            result = DpFairRanking(top_k=k).rank(instance)
+            best = brute_force_topk_dcg(
+                instance.scores, instance.groups, instance.constraints, k
+            )
+            assert result.metadata["dcg"] == pytest.approx(best)
+            assert dcg(result.ranking, instance.scores, k=k) == pytest.approx(best)
+
+    def test_full_ranking_returned(self, instance):
+        result = DpFairRanking(top_k=3).rank(instance)
+        assert sorted(result.ranking.order.tolist()) == list(range(7))
+
+    def test_rest_in_score_order(self, instance):
+        result = DpFairRanking(top_k=3).rank(instance)
+        tail = result.ranking.order[3:]
+        assert np.all(np.diff(instance.scores[tail]) <= 0)
+
+    def test_k_clamped_to_n(self, instance):
+        full = DpFairRanking().rank(instance)
+        clamped = DpFairRanking(top_k=100).rank(instance)
+        assert clamped.metadata["dcg"] == pytest.approx(full.metadata["dcg"])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            DpFairRanking(top_k=0)
+
+    def test_prefix_is_fair(self, instance):
+        from repro.fairness.checks import prefix_group_counts
+
+        k = 4
+        result = DpFairRanking(top_k=k).rank(instance)
+        counts = prefix_group_counts(result.ranking, instance.groups)
+        lower, upper = instance.constraints.count_bounds_matrix(k)
+        assert np.all(counts[:k] >= lower)
+        assert np.all(counts[:k] <= upper)
+
+
+class TestTopKIlp:
+    def test_matches_dp(self, instance):
+        for k in (2, 4):
+            v_ilp = IlpFairRanking(top_k=k).rank(instance).metadata["dcg"]
+            v_dp = DpFairRanking(top_k=k).rank(instance).metadata["dcg"]
+            assert v_ilp == pytest.approx(v_dp, rel=1e-9)
+
+    def test_valid_full_permutation(self, instance):
+        result = IlpFairRanking(top_k=3).rank(instance)
+        assert sorted(result.ranking.order.tolist()) == list(range(7))
+
+    def test_metadata_k(self, instance):
+        assert IlpFairRanking(top_k=3).rank(instance).metadata["k"] == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            IlpFairRanking(top_k=-1)
+
+    def test_topk_selects_best_items(self):
+        # Without binding constraints the top-k must take the k best scores.
+        ga = GroupAssignment(["a", "b"] * 3)
+        fc = FairnessConstraints.from_rates([1.0, 1.0], [0.0, 0.0])
+        scores = np.array([0.9, 0.1, 0.8, 0.2, 0.7, 0.3])
+        problem = FairRankingProblem.from_scores(scores, ga, fc)
+        result = IlpFairRanking(top_k=3).rank(problem)
+        assert set(result.ranking.prefix(3).tolist()) == {0, 2, 4}
