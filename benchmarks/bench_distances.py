@@ -57,3 +57,29 @@ def test_spearman_n2000(benchmark, pair_2000):
 def test_ulam_n2000(benchmark, pair_2000):
     p, q = pair_2000
     benchmark(ulam_distance, p, q)
+
+
+@pytest.fixture(scope="module")
+def mallows_batch_10k():
+    from repro.mallows.sampling import sample_mallows_batch
+
+    center = random_ranking(50, seed=2)
+    return center, sample_mallows_batch(center, 0.5, 10_000, seed=3)
+
+
+def test_kendall_tau_batch_many_vs_one_10k(benchmark, mallows_batch_10k):
+    """Batched inversion counting: 10k samples against one reference."""
+    from repro.batch import batch_kendall_tau
+
+    center, orders = mallows_batch_10k
+    d = benchmark(batch_kendall_tau, orders, center)
+    assert d.shape == (10_000,)
+
+
+def test_kendall_tau_batch_pairwise_10k(benchmark, mallows_batch_10k):
+    """Row-aligned many-vs-many Kendall tau over 10k pairs."""
+    from repro.batch import batch_kendall_tau_pairwise
+
+    center, orders = mallows_batch_10k
+    d = benchmark(batch_kendall_tau_pairwise, orders, orders[::-1])
+    assert d.shape == (10_000,)

@@ -18,3 +18,10 @@ def test_rim_theta_regimes(benchmark, theta):
     center = random_ranking(100, seed=0)
     orders = benchmark(sample_mallows_batch, center, theta, 200, 0)
     assert orders.shape == (200, 100)
+
+
+def test_rim_batch_10k_samples_n50(benchmark):
+    """The batch-engine headline size: 10k samples at the paper's n=50."""
+    center = random_ranking(50, seed=0)
+    orders = benchmark(sample_mallows_batch, center, 0.5, 10_000, 0)
+    assert orders.shape == (10_000, 50)

@@ -20,6 +20,27 @@ from repro.experiments.german_credit_exp import run_german_credit
 #: (title, text) reports accumulated across the whole benchmark session.
 _REPORTS: list[tuple[str, str]] = []
 
+
+def pytest_addoption(parser):
+    """``--fast``: shrink benchmark workloads to smoke-test size.
+
+    Used by the CI perf-smoke job: the batch-engine benchmarks keep their
+    speedup assertions (with a looser threshold) so a regression in the
+    batched kernels fails the build instead of silently landing.
+    """
+    parser.addoption(
+        "--fast",
+        action="store_true",
+        default=False,
+        help="run shrunken benchmark workloads with relaxed perf thresholds",
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_mode(request) -> bool:
+    """Whether ``--fast`` smoke sizing is active."""
+    return bool(request.config.getoption("--fast"))
+
 #: The paper's four panels: (theta, sigma).
 PANEL_PARAMS = ((0.5, 0.0), (1.0, 0.0), (0.5, 1.0), (1.0, 1.0))
 

@@ -17,6 +17,8 @@ Quickstart
 The package layers:
 
 * :mod:`repro.rankings` — permutations, rank distances, NDCG;
+* :mod:`repro.batch` — the batched evaluation engine: ``(m, n)`` ranking
+  batches and vectorized distance/fairness kernels behind the experiments;
 * :mod:`repro.groups` / :mod:`repro.fairness` — protected attributes,
   two-sided P-fairness, the Infeasible Index;
 * :mod:`repro.mallows` — the Mallows model, exact sampling, learning;
@@ -40,6 +42,13 @@ from repro.rankings import (
     idcg,
     ndcg,
     rank_by_score,
+)
+from repro.batch import (
+    BatchRankings,
+    batch_infeasible_index,
+    batch_kendall_tau,
+    batch_ndcg,
+    batch_percent_fair,
 )
 from repro.groups import GroupAssignment, combine_attributes
 from repro.fairness import (
@@ -96,6 +105,11 @@ __all__ = [
     "idcg",
     "ndcg",
     "rank_by_score",
+    "BatchRankings",
+    "batch_infeasible_index",
+    "batch_kendall_tau",
+    "batch_ndcg",
+    "batch_percent_fair",
     "GroupAssignment",
     "combine_attributes",
     "FairnessConstraints",

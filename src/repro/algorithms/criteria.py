@@ -16,11 +16,26 @@ from typing import Sequence
 import numpy as np
 
 from repro.algorithms.base import FairRankingProblem
+from repro.batch.kernels import (
+    batch_infeasible_index,
+    batch_kendall_tau,
+    batch_ndcg,
+    batch_percent_fair,
+)
 from repro.fairness.constraints import FairnessConstraints
 from repro.groups.attributes import GroupAssignment
-from repro.rankings.distances import kendall_tau_distance
-from repro.rankings.permutation import Ranking
-from repro.rankings.quality import idcg, position_discounts
+
+__all__ = [
+    "SelectionCriterion",
+    "MaxNdcgCriterion",
+    "MinKendallTauCriterion",
+    "MinInfeasibleIndexCriterion",
+    "CompositeCriterion",
+    # Batched fairness kernels live in repro.batch.kernels; re-exported here
+    # because this module was their historical home.
+    "batch_infeasible_index",
+    "batch_percent_fair",
+]
 
 
 class SelectionCriterion(abc.ABC):
@@ -45,15 +60,7 @@ class MaxNdcgCriterion(SelectionCriterion):
     name = "max-ndcg"
 
     def score_batch(self, orders: np.ndarray, problem: FairRankingProblem) -> np.ndarray:
-        s = problem.require_scores()
-        m, n = orders.shape
-        disc = position_discounts(n)
-        ideal = idcg(s, n)
-        gains = s[orders] * disc[None, :]
-        totals = gains.sum(axis=1)
-        if ideal == 0.0:
-            return np.ones(m, dtype=np.float64)
-        return totals / ideal
+        return batch_ndcg(orders, problem.require_scores())
 
 
 class MinKendallTauCriterion(SelectionCriterion):
@@ -66,11 +73,7 @@ class MinKendallTauCriterion(SelectionCriterion):
     name = "min-kendall-tau"
 
     def score_batch(self, orders: np.ndarray, problem: FairRankingProblem) -> np.ndarray:
-        base = problem.base_ranking
-        return -np.array(
-            [kendall_tau_distance(Ranking(row), base) for row in orders],
-            dtype=np.float64,
-        )
+        return -batch_kendall_tau(orders, problem.base_ranking).astype(np.float64)
 
 
 class MinInfeasibleIndexCriterion(SelectionCriterion):
@@ -132,44 +135,3 @@ class CompositeCriterion(SelectionCriterion):
         return total
 
 
-def batch_infeasible_index(
-    orders: np.ndarray,
-    groups: GroupAssignment,
-    constraints: FairnessConstraints,
-) -> np.ndarray:
-    """Two-Sided Infeasible Index of every row of ``orders`` at once.
-
-    Vectorized over the batch: builds the ``(m, n, g)`` prefix-count tensor
-    and compares against the per-length bound matrices.
-    """
-    m, n = orders.shape
-    g = groups.n_groups
-    group_of_pos = groups.indices[orders]  # (m, n)
-    one_hot = np.zeros((m, n, g), dtype=np.int64)
-    rows = np.repeat(np.arange(m), n)
-    cols = np.tile(np.arange(n), m)
-    one_hot[rows, cols, group_of_pos.ravel()] = 1
-    counts = one_hot.cumsum(axis=1)  # (m, n, g) prefix counts
-    lower, upper = constraints.count_bounds_matrix(n)
-    lower_viol = (counts < lower[None, :, :]).any(axis=2).sum(axis=1)
-    upper_viol = (counts > upper[None, :, :]).any(axis=2).sum(axis=1)
-    return (lower_viol + upper_viol).astype(np.int64)
-
-
-def batch_percent_fair(
-    orders: np.ndarray,
-    groups: GroupAssignment,
-    constraints: FairnessConstraints,
-) -> np.ndarray:
-    """Percentage of P-fair positions for every row of ``orders``."""
-    m, n = orders.shape
-    g = groups.n_groups
-    group_of_pos = groups.indices[orders]
-    one_hot = np.zeros((m, n, g), dtype=np.int64)
-    rows = np.repeat(np.arange(m), n)
-    cols = np.tile(np.arange(n), m)
-    one_hot[rows, cols, group_of_pos.ravel()] = 1
-    counts = one_hot.cumsum(axis=1)
-    lower, upper = constraints.count_bounds_matrix(n)
-    violated = ((counts < lower[None, :, :]) | (counts > upper[None, :, :])).any(axis=2)
-    return 100.0 * (1.0 - violated.sum(axis=1) / n)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.criteria import batch_infeasible_index
+from repro.batch import batch_infeasible_index
 from repro.fairness.constraints import FairnessConstraints
 from repro.groups.attributes import GroupAssignment
 from repro.mallows.sampling import sample_mallows_batch

@@ -1,0 +1,50 @@
+"""Batched evaluation engine: many rankings as one array, one kernel call.
+
+The Monte-Carlo experiments of the paper (Figs. 1-7, German Credit) all
+reduce to "draw thousands of Mallows samples, score every sample, aggregate".
+This subpackage provides the batched building blocks for that workload:
+
+* :class:`~repro.batch.container.BatchRankings` — ``m`` rankings of ``n``
+  items stored as a single ``(m, n)`` integer array with order and position
+  views (see the module docstring of :mod:`repro.batch.container` for the
+  array conventions);
+* :mod:`repro.batch.kernels` — vectorized many-vs-one / many-vs-many Kendall
+  tau, batched top-``k`` group counts, and the batched Two-Sided Infeasible
+  Index / percentage of P-fair positions.
+
+The scalar APIs in :mod:`repro.rankings.distances` and
+:mod:`repro.fairness.infeasible_index` remain the reference semantics; every
+kernel here is a drop-in vectorization of the corresponding scalar function
+(same integers, same floats) and is tested for exact agreement.
+"""
+
+from repro.batch.container import BatchRankings, as_batch_orders
+from repro.batch.kernels import (
+    batch_count_inversions,
+    batch_infeasible_breakdown,
+    batch_infeasible_index,
+    batch_kendall_tau,
+    batch_kendall_tau_pairwise,
+    batch_ndcg,
+    batch_percent_fair,
+    batch_prefix_group_counts,
+    batch_topk_group_counts,
+    batch_violation_masks,
+    kendall_tau_matrix,
+)
+
+__all__ = [
+    "BatchRankings",
+    "as_batch_orders",
+    "batch_count_inversions",
+    "batch_infeasible_breakdown",
+    "batch_infeasible_index",
+    "batch_kendall_tau",
+    "batch_kendall_tau_pairwise",
+    "batch_ndcg",
+    "batch_percent_fair",
+    "batch_prefix_group_counts",
+    "batch_topk_group_counts",
+    "batch_violation_masks",
+    "kendall_tau_matrix",
+]

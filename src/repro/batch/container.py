@@ -1,0 +1,227 @@
+"""The :class:`BatchRankings` container: ``m`` rankings as one array.
+
+Array conventions
+-----------------
+A batch over ``n`` items is a C-contiguous ``(m, n)`` ``int64`` array in
+*order* view: ``orders[s, j]`` is the item that sample ``s`` places at
+position ``j`` (position 0 is the top).  Every row is a permutation of
+``0..n-1``.  The inverse *position* view, ``positions[s, i]`` — the position
+sample ``s`` gives item ``i``, the paper's ``σ_s(i)`` — is derived lazily and
+cached, so kernels that need it (Kendall tau) pay the inversion once per
+batch rather than once per call.
+
+These are exactly the batch analogues of
+:attr:`repro.rankings.permutation.Ranking.order` and ``Ranking.positions``;
+a single-row batch and a :class:`Ranking` are interchangeable, and the
+property tests pin that equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.rankings.permutation import Ranking
+
+
+def _invert_rows(arr: np.ndarray) -> np.ndarray:
+    """Row-wise permutation inverse of an ``(m, n)`` permutation array."""
+    m, n = arr.shape
+    inv = np.empty_like(arr)
+    np.put_along_axis(
+        inv, arr, np.broadcast_to(np.arange(n, dtype=arr.dtype), (m, n)), axis=1
+    )
+    return inv
+
+
+def _check_rows_are_permutations(arr: np.ndarray) -> None:
+    """Raise if any row of ``arr`` is not a permutation of ``0..n-1``."""
+    m, n = arr.shape
+    if m == 0 or n == 0:
+        return
+    if arr.min() < 0 or arr.max() >= n:
+        raise ValueError(f"batch entries must lie in [0, {n}), got range "
+                         f"[{int(arr.min())}, {int(arr.max())}]")
+    hits = np.zeros((m, n), dtype=bool)
+    hits[np.arange(m)[:, None], arr] = True
+    bad = np.flatnonzero(~hits.all(axis=1))
+    if bad.size:
+        raise ValueError(
+            f"batch row {int(bad[0])} is not a permutation of 0..{n - 1}"
+        )
+
+
+class BatchRankings:
+    """An immutable batch of ``m`` rankings over the same ``n`` items.
+
+    Parameters
+    ----------
+    orders:
+        ``(m, n)`` array, each row an order view (item at each position).
+        The public path defensively copies when the container would alias
+        the caller's array, so freezing never mutates caller state.
+    validate:
+        Check every row is a permutation, and copy aliasing input.  Skip
+        only for trusted internal producers (such as the Mallows sampler)
+        whose rows are permutations by construction and who hand over
+        ownership of the array.
+
+    Examples
+    --------
+    >>> batch = BatchRankings([[2, 0, 1], [0, 1, 2]])
+    >>> len(batch)
+    2
+    >>> batch[0]
+    Ranking([2, 0, 1])
+    >>> batch.positions[0].tolist()
+    [1, 2, 0]
+    """
+
+    __slots__ = ("_orders", "_positions")
+
+    def __init__(
+        self,
+        orders: Sequence[Sequence[int]] | np.ndarray,
+        *,
+        validate: bool = True,
+    ):
+        arr = np.asarray(orders, dtype=np.int64)
+        if arr.ndim != 2:
+            raise ValueError(
+                f"batch orders must be a 2-D (m, n) array, got shape {arr.shape}"
+            )
+        arr = np.ascontiguousarray(arr)
+        if validate:
+            _check_rows_are_permutations(arr)
+            if isinstance(orders, np.ndarray) and np.shares_memory(arr, orders):
+                arr = arr.copy()
+        arr.setflags(write=False)
+        self._orders = arr
+        self._positions: np.ndarray | None = None
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_positions(
+        cls, positions: Sequence[Sequence[int]] | np.ndarray, *, validate: bool = True
+    ) -> "BatchRankings":
+        """Build from the inverse view (``positions[s, i]`` = position of
+        item ``i`` in sample ``s``)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.ndim != 2:
+            raise ValueError(
+                f"batch positions must be a 2-D (m, n) array, got shape {pos.shape}"
+            )
+        pos = np.ascontiguousarray(pos)
+        if validate:
+            _check_rows_are_permutations(pos)
+        batch = cls(_invert_rows(pos), validate=False)
+        cached = pos.copy()
+        cached.setflags(write=False)
+        batch._positions = cached
+        return batch
+
+    @classmethod
+    def from_rankings(cls, rankings: Iterable[Ranking]) -> "BatchRankings":
+        """Stack :class:`Ranking` objects (already validated) into a batch."""
+        rows = [r.order for r in rankings]
+        if not rows:
+            raise ValueError("cannot build a batch from zero rankings")
+        n = rows[0].size
+        for r in rows[1:]:
+            if r.size != n:
+                raise ValueError(
+                    f"all rankings must have the same length ({n} vs {r.size})"
+                )
+        return cls(np.stack(rows), validate=False)
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def orders(self) -> np.ndarray:
+        """Read-only ``(m, n)`` order view (item at each position, top first)."""
+        return self._orders
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only ``(m, n)`` position view (``σ_s(i)``), computed lazily."""
+        if self._positions is None:
+            pos = _invert_rows(self._orders)
+            pos.setflags(write=False)
+            self._positions = pos
+        return self._positions
+
+    @property
+    def n_rankings(self) -> int:
+        """Number of rankings ``m`` in the batch."""
+        return int(self._orders.shape[0])
+
+    @property
+    def n_items(self) -> int:
+        """Number of items ``n`` per ranking."""
+        return int(self._orders.shape[1])
+
+    def __len__(self) -> int:
+        return self.n_rankings
+
+    def __getitem__(self, index: int) -> Ranking:
+        return Ranking(self._orders[int(index)])
+
+    def __iter__(self) -> Iterator[Ranking]:
+        return (Ranking(row) for row in self._orders)
+
+    def to_rankings(self) -> list[Ranking]:
+        """Materialize the batch as a list of :class:`Ranking` objects."""
+        return [Ranking(row) for row in self._orders]
+
+    def prefix(self, k: int) -> np.ndarray:
+        """Top-``k`` items of every ranking, ``shape (m, k)``; ``k`` is
+        clamped to ``[0, n]`` like :meth:`Ranking.prefix`."""
+        k = max(0, min(k, self.n_items))
+        return self._orders[:, :k].copy()
+
+    def select(self, indices: Sequence[int] | np.ndarray) -> "BatchRankings":
+        """Sub-batch holding the rankings at ``indices`` (in that order).
+
+        A boolean array of length ``m`` is treated as a mask, so filtering
+        idioms like ``batch.select(iis == 0)`` work as expected.
+        """
+        idx = np.asarray(indices)
+        if idx.dtype == bool:
+            if idx.shape != (self.n_rankings,):
+                raise ValueError(
+                    f"boolean mask must have shape ({self.n_rankings},), "
+                    f"got {idx.shape}"
+                )
+            idx = np.flatnonzero(idx)
+        else:
+            idx = idx.astype(np.int64, copy=False)
+        return BatchRankings(self._orders[idx], validate=False)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BatchRankings):
+            return NotImplemented
+        return self._orders.shape == other._orders.shape and bool(
+            np.array_equal(self._orders, other._orders)
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchRankings(m={self.n_rankings}, n={self.n_items})"
+
+
+def as_batch_orders(batch: "BatchRankings | np.ndarray | Sequence") -> np.ndarray:
+    """Coerce a kernel argument into a raw ``(m, n)`` int64 order array.
+
+    Accepts a :class:`BatchRankings` (its validated orders are used as-is)
+    or a raw array-like, which is trusted the same way the pre-existing
+    array-based kernels trusted their inputs.
+    """
+    if isinstance(batch, BatchRankings):
+        return batch.orders
+    arr = np.asarray(batch, dtype=np.int64)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"batch orders must be a 2-D (m, n) array, got shape {arr.shape}"
+        )
+    return arr

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.algorithms.criteria import batch_infeasible_index
+from repro.batch import batch_infeasible_index
 from repro.datasets.synthetic import engineered_ranking_with_ii
 from repro.experiments.config import Fig1Config
 from repro.fairness.constraints import FairnessConstraints

@@ -13,13 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.algorithms.criteria import batch_infeasible_index
+from repro.batch import batch_infeasible_index, batch_ndcg
 from repro.datasets.synthetic import two_group_shifted_scores
 from repro.experiments.config import Fig34Config
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.infeasible_index import infeasible_index
 from repro.mallows.sampling import sample_mallows_batch
-from repro.rankings.quality import idcg, position_discounts
 from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import format_series
@@ -91,17 +90,13 @@ def run_fig34(config: Fig34Config = Fig34Config()) -> Fig34Result:
             central_iis.append(
                 infeasible_index(sample.ranking, sample.groups, constraints)
             )
-            n = len(sample.ranking)
-            disc = position_discounts(n)
-            ideal = idcg(sample.scores, n)
             for theta in config.thetas:
                 orders = sample_mallows_batch(
                     sample.ranking, theta, config.samples_per_trial, seed=rng
                 )
                 iis = batch_infeasible_index(orders, sample.groups, constraints)
                 ii_per_theta[theta].append(float(iis.mean()))
-                gains = (sample.scores[orders] * disc[None, :]).sum(axis=1)
-                ndcgs = gains / ideal if ideal > 0 else np.ones(len(gains))
+                ndcgs = batch_ndcg(orders, sample.scores)
                 ndcg_per_theta[theta].append(float(ndcgs.mean()))
 
         central_ii[delta] = float(np.mean(central_iis))

@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.algorithms.criteria import batch_infeasible_index
+from repro.batch import batch_infeasible_index
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.exposure import group_exposures
 from repro.groups.attributes import GroupAssignment

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.algorithms.base import FairRankingProblem
 from repro.algorithms.detconstsort import DetConstSort
+from repro.batch import BatchRankings, batch_ndcg, batch_percent_fair
 from repro.algorithms.dp import DpFairRanking
 from repro.algorithms.ilp import IlpFairRanking
 from repro.algorithms.ipf import ApproxMultiValuedIPF
@@ -39,8 +40,6 @@ from repro.exceptions import InfeasibleProblemError
 from repro.experiments.config import GermanCreditConfig
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.construction import weakly_fair_ranking
-from repro.fairness.infeasible_index import percent_fair_positions
-from repro.rankings.quality import ndcg
 from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import format_series, format_table
@@ -237,7 +236,7 @@ def _one_repeat(
         ),
     }
 
-    out: dict[str, tuple[float, float, float]] = {}
+    rankings: dict[str, object] = {}
     for name, alg in algorithms.items():
         try:
             result = alg.rank(problem, seed=rng)
@@ -246,10 +245,22 @@ def _one_repeat(
             # one-sided noise makes this rare — skip the repeat for this
             # algorithm.
             continue
-        ranking = result.ranking
+        rankings[name] = result.ranking
+
+    out: dict[str, tuple[float, float, float]] = {}
+    if not rankings:
+        return out
+    # All algorithm outputs rank the same `size` items, so every metric of
+    # the repeat is three batched kernel calls instead of a scalar call per
+    # (algorithm, metric) pair.
+    batch = BatchRankings.from_rankings(rankings.values())
+    pfair_known = batch_percent_fair(batch, known, constraints_known)
+    pfair_unknown = batch_percent_fair(batch, unknown, constraints_unknown)
+    ndcgs = batch_ndcg(batch, scores)
+    for i, name in enumerate(rankings):
         out[name] = (
-            percent_fair_positions(ranking, known, constraints_known),
-            percent_fair_positions(ranking, unknown, constraints_unknown),
-            ndcg(ranking, scores),
+            float(pfair_known[i]),
+            float(pfair_unknown[i]),
+            float(ndcgs[i]),
         )
     return out

@@ -25,7 +25,7 @@ from typing import Callable
 import numpy as np
 from scipy import stats
 
-from repro.algorithms.criteria import batch_infeasible_index
+from repro.batch import batch_infeasible_index
 from repro.fairness.constraints import FairnessConstraints
 from repro.groups.attributes import GroupAssignment
 from repro.mallows.sampling import sample_mallows_batch

@@ -11,6 +11,10 @@ violation (when one group is under-represented another is necessarily
 over-represented if the bounds are tight), so ``TwoSidedInfInd`` can exceed
 the ranking length; ``percent_fair_positions`` instead counts prefixes with
 *any* violation, keeping the percentage within ``[0, 100]``.
+
+These scalar entry points are thin single-row wrappers over the batched
+kernels in :mod:`repro.batch.kernels`; experiment loops that score many
+rankings should call those kernels directly.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.fairness.checks import prefix_group_counts
+from repro.batch.kernels import batch_infeasible_breakdown, batch_violation_masks
 from repro.fairness.constraints import FairnessConstraints
 from repro.groups.attributes import GroupAssignment
 from repro.rankings.permutation import Ranking
@@ -65,12 +69,8 @@ def _violation_masks(
     constraints: FairnessConstraints,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Boolean per-prefix masks ``(lower_violated, upper_violated)``."""
-    n = len(ranking)
-    counts = prefix_group_counts(ranking, groups)
-    lower, upper = constraints.count_bounds_matrix(n)
-    lower_violated = (counts < lower).any(axis=1)
-    upper_violated = (counts > upper).any(axis=1)
-    return lower_violated, upper_violated
+    lo, up = batch_violation_masks(ranking.order[None, :], groups, constraints)
+    return lo[0], up[0]
 
 
 def infeasible_index_breakdown(
@@ -78,13 +78,14 @@ def infeasible_index_breakdown(
     groups: GroupAssignment,
     constraints: FairnessConstraints,
 ) -> InfeasibleIndexBreakdown:
-    """Full violation breakdown for ``ranking``."""
-    lo, up = _violation_masks(ranking, groups, constraints)
+    """Full violation breakdown for ``ranking`` — a single-row call into
+    :func:`repro.batch.kernels.batch_infeasible_breakdown`."""
+    b = batch_infeasible_breakdown(ranking.order[None, :], groups, constraints)
     return InfeasibleIndexBreakdown(
-        lower=int(lo.sum()),
-        upper=int(up.sum()),
-        either=int((lo | up).sum()),
-        n_positions=len(ranking),
+        lower=int(b.lower[0]),
+        upper=int(b.upper[0]),
+        either=int(b.either[0]),
+        n_positions=b.n_positions,
     )
 
 

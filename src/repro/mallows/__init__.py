@@ -6,7 +6,11 @@ from repro.mallows.model import (
     log_partition_function,
     partition_function,
 )
-from repro.mallows.sampling import sample_mallows, sample_mallows_batch
+from repro.mallows.sampling import (
+    sample_mallows,
+    sample_mallows_batch,
+    sample_mallows_rankings,
+)
 from repro.mallows.learning import (
     estimate_center_borda,
     estimate_center_copeland,
@@ -15,8 +19,11 @@ from repro.mallows.learning import (
 )
 from repro.mallows.mcmc import (
     plackett_luce_noise,
+    plackett_luce_noise_batch,
     random_adjacent_swaps,
+    random_adjacent_swaps_batch,
     sample_mallows_mcmc,
+    sample_mallows_mcmc_batch,
 )
 from repro.mallows.generalized import (
     GeneralizedMallowsModel,
@@ -40,13 +47,17 @@ __all__ = [
     "expected_kendall_tau",
     "sample_mallows",
     "sample_mallows_batch",
+    "sample_mallows_rankings",
     "fit_theta_mle",
     "fit_mallows",
     "estimate_center_borda",
     "estimate_center_copeland",
     "sample_mallows_mcmc",
+    "sample_mallows_mcmc_batch",
     "plackett_luce_noise",
+    "plackett_luce_noise_batch",
     "random_adjacent_swaps",
+    "random_adjacent_swaps_batch",
     "GeneralizedMallowsModel",
     "dispersion_profile",
     "displacement_vector",

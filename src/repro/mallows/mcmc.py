@@ -6,6 +6,13 @@ The RIM sampler is exact but specific to the Kendall tau distance; the
 Metropolis sampler here targets ``P(π) ∝ exp(−θ·d(π, π₀))`` for *any*
 distance ``d`` using adjacent-transposition proposals (irreducible and
 symmetric on ``S_n``).
+
+Each sampler has a ``*_batch`` variant returning a
+:class:`~repro.batch.container.BatchRankings` (the currency of the batched
+evaluation kernels); the list-of-:class:`Ranking` APIs are thin wrappers over
+those.  The noise samplers draw their randomness in one vectorized block, in
+the exact stream order of the historical per-sample loops, so seeded results
+are unchanged.
 """
 
 from __future__ import annotations
@@ -14,13 +21,14 @@ from typing import Callable
 
 import numpy as np
 
+from repro.batch.container import BatchRankings
 from repro.rankings.permutation import Ranking
 from repro.utils.rng import SeedLike, as_generator
 
 DistanceFn = Callable[[Ranking, Ranking], float]
 
 
-def sample_mallows_mcmc(
+def sample_mallows_mcmc_batch(
     center: Ranking,
     theta: float,
     m: int,
@@ -28,8 +36,8 @@ def sample_mallows_mcmc(
     burn_in: int = 500,
     thin: int = 10,
     seed: SeedLike = None,
-) -> list[Ranking]:
-    """Metropolis sampling from ``P(π) ∝ exp(−θ·d(π, center))``.
+) -> BatchRankings:
+    """Metropolis sampling from ``P(π) ∝ exp(−θ·d(π, center))`` as a batch.
 
     Parameters
     ----------
@@ -54,13 +62,16 @@ def sample_mallows_mcmc(
     rng = as_generator(seed)
     n = len(center)
     if m == 0:
-        return []
+        return BatchRankings(np.empty((0, n), dtype=np.int64), validate=False)
     if n < 2:
-        return [center] * m
+        return BatchRankings(
+            np.tile(center.order, (m, 1)), validate=False
+        )
 
     current = center
     current_d = 0.0
-    samples: list[Ranking] = []
+    out = np.empty((m, n), dtype=np.int64)
+    collected = 0
     total_steps = burn_in + m * thin
     cut_points = rng.integers(0, n - 1, size=total_steps)
     accept_u = rng.random(total_steps)
@@ -74,22 +85,40 @@ def sample_mallows_mcmc(
             current = proposal
             current_d = prop_d
         if step >= burn_in and (step - burn_in) % thin == thin - 1:
-            samples.append(current)
-    return samples
+            out[collected] = current.order
+            collected += 1
+    return BatchRankings(out, validate=False)
 
 
-def plackett_luce_noise(
+def sample_mallows_mcmc(
+    center: Ranking,
+    theta: float,
+    m: int,
+    distance: DistanceFn,
+    burn_in: int = 500,
+    thin: int = 10,
+    seed: SeedLike = None,
+) -> list[Ranking]:
+    """Metropolis Mallows sampling returning :class:`Ranking` objects; see
+    :func:`sample_mallows_mcmc_batch` for the parameters."""
+    return sample_mallows_mcmc_batch(
+        center, theta, m, distance, burn_in=burn_in, thin=thin, seed=seed
+    ).to_rankings()
+
+
+def plackett_luce_noise_batch(
     center: Ranking,
     strength: float,
     m: int,
     seed: SeedLike = None,
-) -> list[Ranking]:
-    """Plackett–Luce perturbation of a ranking.
+) -> BatchRankings:
+    """Plackett–Luce perturbation of a ranking, as a batch.
 
     Items get utilities decreasing geometrically with their central position
     (``w_i = strength^{position}`` with ``strength ∈ (0, 1)``) and a PL
     sample is drawn by Gumbel-max.  ``strength → 0`` concentrates on the
-    centre; ``strength → 1`` approaches uniform.
+    centre; ``strength → 1`` approaches uniform.  All ``m`` Gumbel blocks are
+    drawn at once and ranked with one batched argsort.
     """
     if not 0.0 < strength <= 1.0:
         raise ValueError(f"strength must be in (0, 1], got {strength}")
@@ -98,11 +127,51 @@ def plackett_luce_noise(
     rng = as_generator(seed)
     n = len(center)
     log_w = np.log(strength) * center.positions.astype(np.float64)
-    samples = []
-    for _ in range(m):
-        gumbel = rng.gumbel(size=n)
-        samples.append(Ranking(np.argsort(-(log_w + gumbel), kind="stable")))
-    return samples
+    gumbel = rng.gumbel(size=(m, n))
+    orders = np.argsort(-(log_w[None, :] + gumbel), axis=1, kind="stable")
+    return BatchRankings(orders, validate=False)
+
+
+def plackett_luce_noise(
+    center: Ranking,
+    strength: float,
+    m: int,
+    seed: SeedLike = None,
+) -> list[Ranking]:
+    """Plackett–Luce perturbation returning :class:`Ranking` objects; see
+    :func:`plackett_luce_noise_batch`."""
+    return plackett_luce_noise_batch(center, strength, m, seed=seed).to_rankings()
+
+
+def random_adjacent_swaps_batch(
+    center: Ranking,
+    n_swaps: int,
+    m: int,
+    seed: SeedLike = None,
+) -> BatchRankings:
+    """Baseline noise: apply ``n_swaps`` uniformly random adjacent
+    transpositions to the centre, ``m`` independent times, as a batch.
+
+    The swap indices for all samples are drawn in one ``(m, n_swaps)`` block;
+    the swaps are then applied swap-step by swap-step across the whole batch
+    (each step touches two columns per row via fancy indexing).
+    """
+    if n_swaps < 0:
+        raise ValueError(f"n_swaps must be non-negative, got {n_swaps}")
+    if m < 0:
+        raise ValueError(f"sample count must be non-negative, got {m}")
+    rng = as_generator(seed)
+    n = len(center)
+    orders = np.tile(center.order, (m, 1)) if m else np.empty((0, n), dtype=np.int64)
+    if m and n >= 2 and n_swaps:
+        cuts = rng.integers(0, n - 1, size=(m, n_swaps))
+        rows = np.arange(m)
+        for t in range(n_swaps):
+            j = cuts[:, t]
+            left = orders[rows, j]
+            orders[rows, j] = orders[rows, j + 1]
+            orders[rows, j + 1] = left
+    return BatchRankings(orders, validate=False)
 
 
 def random_adjacent_swaps(
@@ -111,19 +180,6 @@ def random_adjacent_swaps(
     m: int,
     seed: SeedLike = None,
 ) -> list[Ranking]:
-    """Baseline noise: apply ``n_swaps`` uniformly random adjacent
-    transpositions to the centre, ``m`` independent times."""
-    if n_swaps < 0:
-        raise ValueError(f"n_swaps must be non-negative, got {n_swaps}")
-    if m < 0:
-        raise ValueError(f"sample count must be non-negative, got {m}")
-    rng = as_generator(seed)
-    n = len(center)
-    samples = []
-    for _ in range(m):
-        order = center.order.copy()
-        if n >= 2:
-            for j in rng.integers(0, n - 1, size=n_swaps):
-                order[j], order[j + 1] = order[j + 1], order[j]
-        samples.append(Ranking(order))
-    return samples
+    """Adjacent-swap noise returning :class:`Ranking` objects; see
+    :func:`random_adjacent_swaps_batch`."""
+    return random_adjacent_swaps_batch(center, n_swaps, m, seed=seed).to_rankings()

@@ -1,0 +1,261 @@
+"""Property tests for the ``repro.batch`` subsystem.
+
+Three families of invariants:
+
+* :class:`BatchRankings` container algebra — order/position round-trips,
+  single-row batches behaving exactly like a :class:`Ranking`;
+* batched kernels vs per-sample scalar loops — Kendall tau, top-k group
+  counts, the Infeasible Index and PPfair on random fixtures;
+* input validation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import (
+    BatchRankings,
+    as_batch_orders,
+    batch_count_inversions,
+    batch_infeasible_breakdown,
+    batch_infeasible_index,
+    batch_kendall_tau,
+    batch_kendall_tau_pairwise,
+    batch_ndcg,
+    batch_percent_fair,
+    batch_prefix_group_counts,
+    batch_topk_group_counts,
+    kendall_tau_matrix,
+)
+from repro.exceptions import LengthMismatchError
+from repro.fairness.checks import prefix_group_counts
+from repro.fairness.constraints import FairnessConstraints
+from repro.fairness.infeasible_index import (
+    infeasible_index,
+    infeasible_index_breakdown,
+    percent_fair_positions,
+)
+from repro.groups.attributes import GroupAssignment
+from repro.rankings.distances import kendall_tau_distance
+from repro.rankings.permutation import Ranking
+from repro.rankings.quality import ndcg
+
+
+@st.composite
+def order_batch(draw, min_m=1, max_m=6, min_n=1, max_n=10):
+    """A random (m, n) batch of permutation rows."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    m = draw(st.integers(min_value=min_m, max_value=max_m))
+    rows = [draw(st.permutations(list(range(n)))) for _ in range(m)]
+    return np.array(rows, dtype=np.int64)
+
+
+@st.composite
+def grouped_batch(draw):
+    """A batch plus a compatible group assignment with non-empty groups."""
+    orders = draw(order_batch(min_n=2))
+    n = orders.shape[1]
+    g = draw(st.integers(min_value=1, max_value=min(3, n)))
+    labels = list(range(g)) + [
+        draw(st.integers(min_value=0, max_value=g - 1)) for _ in range(n - g)
+    ]
+    groups = GroupAssignment.from_indices(np.array(labels, dtype=np.int64), g)
+    return orders, groups
+
+
+class TestContainer:
+    @settings(max_examples=50, deadline=None)
+    @given(order_batch())
+    def test_order_position_round_trip(self, orders):
+        batch = BatchRankings(orders)
+        again = BatchRankings.from_positions(batch.positions)
+        assert np.array_equal(again.orders, orders)
+        assert np.array_equal(again.positions, batch.positions)
+
+    @settings(max_examples=50, deadline=None)
+    @given(order_batch(min_m=1, max_m=1))
+    def test_single_row_batch_equals_ranking(self, orders):
+        batch = BatchRankings(orders)
+        ranking = Ranking(orders[0])
+        assert np.array_equal(batch.orders[0], ranking.order)
+        assert np.array_equal(batch.positions[0], ranking.positions)
+        assert batch[0] == ranking
+        assert np.array_equal(batch.prefix(2), ranking.prefix(2)[None, :])
+
+    @settings(max_examples=50, deadline=None)
+    @given(order_batch())
+    def test_from_rankings_round_trip(self, orders):
+        batch = BatchRankings.from_rankings([Ranking(row) for row in orders])
+        assert batch == BatchRankings(orders)
+        assert [r.order.tolist() for r in batch.to_rankings()] == orders.tolist()
+
+    def test_views_are_read_only(self):
+        batch = BatchRankings([[0, 1, 2], [2, 1, 0]])
+        with pytest.raises(ValueError):
+            batch.orders[0, 0] = 1
+        with pytest.raises(ValueError):
+            batch.positions[0, 0] = 1
+
+    def test_select_and_len(self):
+        batch = BatchRankings([[0, 1], [1, 0], [0, 1]])
+        sub = batch.select([2, 0])
+        assert len(batch) == 3 and len(sub) == 2
+        assert sub[0] == Ranking([0, 1])
+
+    def test_select_boolean_mask(self):
+        batch = BatchRankings([[0, 1], [1, 0], [0, 1]])
+        sub = batch.select(np.array([True, False, True]))
+        assert len(sub) == 2
+        assert sub[0] == Ranking([0, 1]) and sub[1] == Ranking([0, 1])
+        with pytest.raises(ValueError):
+            batch.select(np.array([True, False]))  # wrong mask length
+
+    def test_does_not_freeze_callers_array(self):
+        orders = np.array([[0, 1, 2], [2, 1, 0]], dtype=np.int64)
+        batch = BatchRankings(orders)
+        orders[0, 0] = 7  # caller's array must stay writable...
+        assert batch.orders[0, 0] == 0  # ...and the container unaffected
+
+    def test_validation_rejects_non_permutations(self):
+        with pytest.raises(ValueError):
+            BatchRankings([[0, 0, 1]])
+        with pytest.raises(ValueError):
+            BatchRankings([[0, 1, 3]])
+        with pytest.raises(ValueError):
+            BatchRankings(np.arange(4))  # not 2-D
+        with pytest.raises(ValueError):
+            as_batch_orders(np.arange(4))
+
+    def test_empty_batch(self):
+        batch = BatchRankings(np.empty((0, 5), dtype=np.int64))
+        assert len(batch) == 0 and batch.n_items == 5
+        assert batch.positions.shape == (0, 5)
+
+
+class TestKendallKernels:
+    @settings(max_examples=50, deadline=None)
+    @given(order_batch())
+    def test_many_vs_one_matches_scalar(self, orders):
+        ref = Ranking(np.roll(np.arange(orders.shape[1]), 1))
+        got = batch_kendall_tau(BatchRankings(orders), ref)
+        expected = [kendall_tau_distance(Ranking(row), ref) for row in orders]
+        assert got.tolist() == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(order_batch(min_m=2))
+    def test_pairwise_matches_scalar(self, orders):
+        a, b = orders, np.flip(orders, axis=1)
+        got = batch_kendall_tau_pairwise(a, b)
+        expected = [
+            kendall_tau_distance(Ranking(x), Ranking(y)) for x, y in zip(a, b)
+        ]
+        assert got.tolist() == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(order_batch(min_m=2, max_m=4))
+    def test_matrix_matches_scalar(self, orders):
+        rng = np.random.default_rng(0)
+        other = np.stack([rng.permutation(orders.shape[1]) for _ in range(3)])
+        got = kendall_tau_matrix(orders, other)
+        assert got.shape == (orders.shape[0], 3)
+        for s in range(orders.shape[0]):
+            for t in range(3):
+                assert got[s, t] == kendall_tau_distance(
+                    Ranking(orders[s]), Ranking(other[t])
+                )
+
+    def test_count_inversions_basics(self):
+        seqs = np.array([[0, 1, 2], [2, 1, 0], [1, 0, 2]])
+        assert batch_count_inversions(seqs).tolist() == [0, 3, 1]
+        assert batch_count_inversions(np.empty((0, 3), int)).shape == (0,)
+        assert batch_count_inversions(np.zeros((2, 1), int)).tolist() == [0, 0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            batch_kendall_tau(np.array([[0, 1, 2]]), Ranking([0, 1]))
+        with pytest.raises(LengthMismatchError):
+            batch_kendall_tau_pairwise(np.array([[0, 1]]), np.array([[0, 1, 2]]))
+
+
+class TestFairnessKernels:
+    @settings(max_examples=50, deadline=None)
+    @given(grouped_batch())
+    def test_infeasible_index_matches_scalar_loop(self, pair):
+        orders, groups = pair
+        fc = FairnessConstraints.proportional(groups)
+        got = batch_infeasible_index(orders, groups, fc)
+        expected = [infeasible_index(Ranking(row), groups, fc) for row in orders]
+        assert got.tolist() == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(grouped_batch())
+    def test_breakdown_and_percent_fair_match_scalar_loop(self, pair):
+        orders, groups = pair
+        fc = FairnessConstraints.proportional(groups)
+        b = batch_infeasible_breakdown(orders, groups, fc)
+        pf = batch_percent_fair(orders, groups, fc)
+        for s, row in enumerate(orders):
+            scalar = infeasible_index_breakdown(Ranking(row), groups, fc)
+            assert (b.lower[s], b.upper[s], b.either[s]) == (
+                scalar.lower,
+                scalar.upper,
+                scalar.either,
+            )
+            assert pf[s] == percent_fair_positions(Ranking(row), groups, fc)
+
+    @settings(max_examples=50, deadline=None)
+    @given(grouped_batch())
+    def test_prefix_counts_match_scalar(self, pair):
+        orders, groups = pair
+        counts = batch_prefix_group_counts(orders, groups)
+        for s, row in enumerate(orders):
+            assert np.array_equal(
+                counts[s], prefix_group_counts(Ranking(row), groups)
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(grouped_batch(), st.integers(min_value=0, max_value=12))
+    def test_topk_counts_match_scalar(self, pair, k):
+        orders, groups = pair
+        got = batch_topk_group_counts(orders, groups, k)
+        kk = min(k, orders.shape[1])
+        for s, row in enumerate(orders):
+            expected = np.bincount(
+                groups.indices[row[:kk]], minlength=groups.n_groups
+            )
+            assert np.array_equal(got[s], expected)
+
+    def test_group_length_mismatch_raises(self):
+        groups = GroupAssignment.from_indices(np.array([0, 1]))
+        fc = FairnessConstraints.proportional(groups)
+        with pytest.raises(LengthMismatchError):
+            batch_infeasible_index(np.array([[0, 1, 2]]), groups, fc)
+
+
+class TestNdcgKernel:
+    @settings(max_examples=50, deadline=None)
+    @given(order_batch())
+    def test_matches_scalar(self, orders):
+        n = orders.shape[1]
+        scores = np.linspace(1.0, 0.1, n) ** 2
+        got = batch_ndcg(orders, scores)
+        for s, row in enumerate(orders):
+            assert got[s] == ndcg(Ranking(row), scores)
+
+    def test_zero_ideal_is_one(self):
+        got = batch_ndcg(np.array([[0, 1], [1, 0]]), np.zeros(2))
+        assert got.tolist() == [1.0, 1.0]
+
+    def test_truncated_k(self):
+        orders = np.array([[2, 0, 1], [0, 1, 2]])
+        scores = np.array([0.3, 0.2, 0.9])
+        got = batch_ndcg(orders, scores, k=2)
+        for s, row in enumerate(orders):
+            assert got[s] == ndcg(Ranking(row), scores, k=2)
+
+    def test_bad_inputs(self):
+        with pytest.raises(LengthMismatchError):
+            batch_ndcg(np.array([[0, 1]]), np.zeros(3))
+        with pytest.raises(ValueError):
+            batch_ndcg(np.array([[0, 1]]), np.zeros(2), k=5)

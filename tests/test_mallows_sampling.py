@@ -8,6 +8,7 @@ import pytest
 
 from repro.mallows.model import MallowsModel, expected_kendall_tau
 from repro.mallows.sampling import (
+    _displacement_draws,
     sample_displacements_total,
     sample_mallows,
     sample_mallows_batch,
@@ -110,3 +111,54 @@ class TestStatisticalLaw:
         n, theta = 20, 0.5
         totals = sample_displacements_total(n, theta, 4000, seed=3)
         assert totals.mean() == pytest.approx(expected_kendall_tau(n, theta), rel=0.03)
+
+
+class TestThetaUnderflowBoundary:
+    """Regression cover for the ``e^{-theta}`` → 1 rounding boundary.
+
+    For theta > 0 so small that ``math.exp(-theta)`` rounds to exactly 1.0,
+    the geometric inverse-CDF would divide by ``log(1) = 0``; the sampler
+    must detect the boundary and use the exact-uniform branch instead.
+    """
+
+    #: Positive theta whose ``e^{-theta}`` is exactly 1.0 in float64.
+    TINY_THETA = 1e-17
+
+    def test_boundary_precondition(self):
+        assert self.TINY_THETA > 0.0
+        assert math.exp(-self.TINY_THETA) == 1.0
+
+    def test_draws_match_theta_zero_bit_for_bit(self):
+        rng_a = np.random.default_rng(31)
+        rng_b = np.random.default_rng(31)
+        a = _displacement_draws(10, self.TINY_THETA, 500, rng_a)
+        b = _displacement_draws(10, 0.0, 500, rng_b)
+        assert np.array_equal(a, b)
+
+    def test_no_floating_point_error_at_boundary(self):
+        rng = np.random.default_rng(5)
+        with np.errstate(divide="raise", invalid="raise"):
+            v = _displacement_draws(8, self.TINY_THETA, 200, rng)
+        j = np.arange(8)
+        assert np.all(v >= 0) and np.all(v <= j[None, :])
+
+    def test_boundary_law_is_uniform(self):
+        # Chi-square on the last insertion step: v_{n-1} ~ U{0..n-1}.
+        n, m = 6, 12000
+        rng = np.random.default_rng(77)
+        v = _displacement_draws(n, self.TINY_THETA, m, rng)
+        counts = np.bincount(v[:, -1], minlength=n)
+        expected = m / n
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # 5 dof; P(chi2 > 20.5) ~ 1e-3.
+        assert chi2 < 20.5
+
+    def test_sampler_uniform_at_boundary(self):
+        # End to end: the materialized samples are uniform over S_3, exactly
+        # as at theta = 0 (shared RNG stream, shared decode).
+        m = 6000
+        a = sample_mallows_batch(identity(3), self.TINY_THETA, m, seed=13)
+        b = sample_mallows_batch(identity(3), 0.0, m, seed=13)
+        assert np.array_equal(a, b)
+        counts = Counter(tuple(o) for o in a)
+        assert len(counts) == 6
