@@ -12,21 +12,45 @@ paper-scale workload (m = 10 000 samples, n = 50 items) — this is the loud
 perf-regression tripwire; under ``--fast`` the workload shrinks and the
 threshold relaxes so the CI smoke job stays quick yet still catches
 order-of-magnitude regressions.
+
+PR-2 additions: the distance-metric kernels race their scalar loops the same
+way, the ``n_jobs`` fan-out runs the m=10k pipeline sharded across workers
+(byte-equality always asserted; ≥2× wall-clock at ``n_jobs=4`` on ≥4-core
+machines; the ``--fast`` smoke exercises ``n_jobs=2``), and the kernel cache
+must serve repeated value-equal constraints from memory.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 import pytest
 
-from repro.batch import batch_infeasible_index, batch_kendall_tau
+from repro.batch import (
+    DEFAULT_CACHE,
+    batch_cayley,
+    batch_footrule,
+    batch_hamming,
+    batch_infeasible_index,
+    batch_kendall_tau,
+    batch_spearman,
+    batch_ulam,
+    mallows_sample_and_score,
+)
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.infeasible_index import infeasible_index
 from repro.groups.attributes import GroupAssignment
 from repro.mallows.sampling import _displacement_draws, sample_mallows_batch
-from repro.rankings.distances import kendall_tau_distance
+from repro.rankings.distances import (
+    cayley_distance,
+    footrule_distance,
+    hamming_distance,
+    kendall_tau_distance,
+    spearman_distance,
+    ulam_distance,
+)
 from repro.rankings.permutation import Ranking, random_ranking
 
 N_ITEMS = 50
@@ -166,6 +190,121 @@ def test_batch_kendall_speedup(workload, fast_mode, report):
         ),
     )
     assert speedup >= threshold
+
+
+def test_batch_distance_kernels_speedup(workload, fast_mode, report):
+    """The PR-2 metric kernels (footrule/Spearman/Hamming/Cayley/Ulam) vs
+    one scalar call per sample, summed across all five metrics."""
+    center, _, _ = workload
+    m = 500 if fast_mode else 2_000
+    threshold = 3.0 if fast_mode else 5.0
+    orders = sample_mallows_batch(center, THETA, m, seed=SEED + 2)
+    pairs = (
+        (batch_footrule, footrule_distance),
+        (batch_spearman, spearman_distance),
+        (batch_hamming, hamming_distance),
+        (batch_cayley, cayley_distance),
+        (batch_ulam, ulam_distance),
+    )
+
+    t0 = time.perf_counter()
+    scalar_results = [
+        np.array([scalar_fn(Ranking(row), center) for row in orders])
+        for _batch_fn, scalar_fn in pairs
+    ]
+    scalar_s = time.perf_counter() - t0
+
+    batch_s = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        batch_results = [batch_fn(orders, center) for batch_fn, _ in pairs]
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    for got, expected, (batch_fn, _) in zip(batch_results, scalar_results, pairs):
+        assert np.array_equal(got, expected), batch_fn.__name__
+
+    speedup = scalar_s / batch_s
+    report(
+        "Batch engine — distance kernels (footrule/Spearman/Hamming/Cayley/Ulam)",
+        (
+            f"m={m} samples, n={N_ITEMS} items, 5 metrics\n"
+            f"scalar path : {scalar_s * 1e3:9.1f} ms\n"
+            f"batch path  : {batch_s * 1e3:9.1f} ms\n"
+            f"speedup     : {speedup:9.1f}x (required >= {threshold:g}x)"
+        ),
+    )
+    assert speedup >= threshold
+
+
+def test_parallel_pipeline_fanout(workload, fast_mode, report):
+    """The n_jobs sharder on the m=10k sampling + Infeasible Index pipeline.
+
+    Always asserts byte-identical output across worker counts (the CI
+    ``--fast`` smoke runs this with n_jobs=2, so fan-out regressions fail
+    loudly); the >= 2x wall-clock assertion at n_jobs=4 applies on machines
+    with at least 4 cores.
+    """
+    center, groups, constraints = workload
+    m = 2_000 if fast_mode else 10_000
+    n_jobs = 2 if fast_mode else 4
+    cores = os.cpu_count() or 1
+
+    t0 = time.perf_counter()
+    single = mallows_sample_and_score(
+        center, THETA, m, groups=groups, constraints=constraints,
+        seed=SEED, n_jobs=1,
+    )
+    single_s = time.perf_counter() - t0
+
+    fanout_s = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        fanned = mallows_sample_and_score(
+            center, THETA, m, groups=groups, constraints=constraints,
+            seed=SEED, n_jobs=n_jobs,
+        )
+        fanout_s = min(fanout_s, time.perf_counter() - t0)
+
+    # Fan-out must never change results.
+    assert np.array_equal(single.infeasible_index, fanned.infeasible_index)
+
+    speedup = single_s / fanout_s
+    report(
+        "Batch engine — n_jobs fan-out (sampling + Infeasible Index)",
+        (
+            f"m={m} samples, n={N_ITEMS} items, n_jobs={n_jobs} "
+            f"({cores} cores available)\n"
+            f"single process : {single_s * 1e3:9.1f} ms\n"
+            f"fan-out        : {fanout_s * 1e3:9.1f} ms\n"
+            f"speedup        : {speedup:9.2f}x\n"
+            f"kernel cache   : {DEFAULT_CACHE.stats().summary()}"
+        ),
+    )
+    if not fast_mode and cores >= 4:
+        assert speedup >= 2.0, (
+            f"n_jobs={n_jobs} only {speedup:.2f}x faster than single-process "
+            f"at m={m}, n={N_ITEMS} on {cores} cores (required >= 2x)"
+        )
+
+
+def test_kernel_cache_effectiveness(workload, report):
+    """Repeated kernel calls with value-equal constraints must hit the
+    bounds cache instead of rebuilding the prefix bound matrices."""
+    center, groups, constraints = workload
+    orders = sample_mallows_batch(center, THETA, 200, seed=SEED + 3)
+    DEFAULT_CACHE.clear()
+    for _ in range(10):
+        # Fresh constraints objects, as the experiment loops build them.
+        batch_infeasible_index(
+            orders, groups, FairnessConstraints.proportional(groups)
+        )
+    stats = DEFAULT_CACHE.stats()
+    report(
+        "Batch engine — kernel cache (10 repeats, rebuilt constraints)",
+        stats.summary(),
+    )
+    assert stats.bounds_misses == 1
+    assert stats.bounds_hits == 9
 
 
 def test_bench_batch_sampling_10k(benchmark, fast_mode, workload):

@@ -49,6 +49,7 @@ from repro.batch import (
     batch_kendall_tau,
     batch_ndcg,
     batch_percent_fair,
+    mallows_sample_and_score,
 )
 from repro.groups import GroupAssignment, combine_attributes
 from repro.fairness import (
@@ -110,6 +111,7 @@ __all__ = [
     "batch_kendall_tau",
     "batch_ndcg",
     "batch_percent_fair",
+    "mallows_sample_and_score",
     "GroupAssignment",
     "combine_attributes",
     "FairnessConstraints",

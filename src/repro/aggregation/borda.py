@@ -21,12 +21,13 @@ def borda_scores(rankings: Sequence[Ranking]) -> np.ndarray:
     if not rankings:
         raise ValueError("need at least one ranking")
     n = len(rankings[0])
-    credit = np.zeros(n, dtype=np.float64)
     for r in rankings:
         if len(r) != n:
             raise LengthMismatchError("all rankings must have the same length")
-        credit += (n - 1) - r.positions
-    return credit
+    positions = np.stack([r.positions for r in rankings])
+    # One stacked reduction; the credits are exact integers well inside
+    # float64, so this matches the old sequential accumulation bit-for-bit.
+    return ((n - 1) - positions).sum(axis=0).astype(np.float64)
 
 
 def borda_aggregate(rankings: Sequence[Ranking]) -> Ranking:

@@ -17,6 +17,7 @@ from repro.aggregation.pairwise import (
     kemeny_objective_from_matrix,
     pairwise_preference_matrix,
 )
+from repro.exceptions import LengthMismatchError
 from repro.rankings.permutation import Ranking, all_rankings
 from repro.utils.rng import SeedLike, as_generator
 
@@ -28,6 +29,11 @@ def kemeny_aggregate_exact(rankings: Sequence[Ranking]) -> Ranking:
     if not rankings:
         raise ValueError("need at least one ranking")
     n = len(rankings[0])
+    for r in rankings[1:]:
+        if len(r) != n:
+            raise LengthMismatchError(
+                f"all rankings must have the same length, got {n} and {len(r)}"
+            )
     if n > _EXACT_LIMIT:
         raise ValueError(
             f"exact Kemeny is factorial; refusing n={n} > {_EXACT_LIMIT} "
@@ -56,9 +62,28 @@ def kwiksort_aggregate(rankings: Sequence[Ranking], seed: SeedLike = None) -> Ra
 
 
 def _kwiksort(items: list[int], w: np.ndarray, rng: np.random.Generator) -> list[int]:
-    if len(items) <= 1:
-        return items
-    pivot = items[int(rng.integers(0, len(items)))]
-    left = [i for i in items if i != pivot and w[i, pivot] > w[pivot, i]]
-    right = [i for i in items if i != pivot and w[i, pivot] <= w[pivot, i]]
-    return _kwiksort(left, w, rng) + [pivot] + _kwiksort(right, w, rng)
+    """Iterative KwikSort with an explicit work stack.
+
+    Unlucky pivots make the partition tree a chain of depth ``n``, which the
+    natural recursion turns into a ``RecursionError`` for large ``n``; the
+    explicit stack is depth-proof.  Work items are processed left branch
+    first, so pivots are drawn in exactly the recursive implementation's
+    order and seeded outputs are unchanged.
+    """
+    ordered: list[int] = []
+    stack: list[list[int] | int] = [items]
+    while stack:
+        top = stack.pop()
+        if isinstance(top, int):
+            ordered.append(top)
+            continue
+        if len(top) <= 1:
+            ordered.extend(top)
+            continue
+        pivot = top[int(rng.integers(0, len(top)))]
+        left = [i for i in top if i != pivot and w[i, pivot] > w[pivot, i]]
+        right = [i for i in top if i != pivot and w[i, pivot] <= w[pivot, i]]
+        stack.append(right)
+        stack.append(pivot)
+        stack.append(left)
+    return ordered

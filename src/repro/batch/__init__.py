@@ -8,19 +8,34 @@ This subpackage provides the batched building blocks for that workload:
   items stored as a single ``(m, n)`` integer array with order and position
   views (see the module docstring of :mod:`repro.batch.container` for the
   array conventions);
-* :mod:`repro.batch.kernels` — vectorized many-vs-one / many-vs-many Kendall
-  tau, batched top-``k`` group counts, and the batched Two-Sided Infeasible
-  Index / percentage of P-fair positions.
+* :mod:`repro.batch.kernels` — vectorized many-vs-one / many-vs-many
+  distance kernels (Kendall tau, footrule, Spearman, Ulam, Cayley, Hamming,
+  weighted Kendall tau), batched top-``k`` group counts and per-group
+  exposure, and the batched Two-Sided Infeasible Index / percentage of
+  P-fair positions / NDCG;
+* :mod:`repro.batch.cache` — a process-wide LRU cache of per-constraint
+  bound matrices and per-``(n, theta)`` Mallows position marginals, with
+  hit/miss counters and explicit invalidation;
+* :mod:`repro.batch.parallel` — the ``n_jobs`` process-pool sharder that
+  splits an ``(m, n)`` sampling + scoring pipeline by row range across
+  workers, with per-worker RNG streams that keep every ``n_jobs`` value
+  byte-identical under a fixed seed.
 
-The scalar APIs in :mod:`repro.rankings.distances` and
-:mod:`repro.fairness.infeasible_index` remain the reference semantics; every
-kernel here is a drop-in vectorization of the corresponding scalar function
-(same integers, same floats) and is tested for exact agreement.
+The scalar APIs in :mod:`repro.rankings.distances`,
+:mod:`repro.fairness.infeasible_index` and :mod:`repro.fairness.exposure`
+remain the reference semantics; every kernel here is a drop-in vectorization
+of the corresponding scalar function (same integers, same floats) and is
+tested for exact agreement.
 """
 
+from repro.batch.cache import DEFAULT_CACHE, CacheStats, KernelCache
 from repro.batch.container import BatchRankings, as_batch_orders
 from repro.batch.kernels import (
+    batch_cayley,
     batch_count_inversions,
+    batch_footrule,
+    batch_group_exposures,
+    batch_hamming,
     batch_infeasible_breakdown,
     batch_infeasible_index,
     batch_kendall_tau,
@@ -28,15 +43,33 @@ from repro.batch.kernels import (
     batch_ndcg,
     batch_percent_fair,
     batch_prefix_group_counts,
+    batch_spearman,
     batch_topk_group_counts,
+    batch_ulam,
     batch_violation_masks,
+    batch_weighted_kendall_tau,
     kendall_tau_matrix,
+)
+from repro.batch.parallel import (
+    MallowsBatchScores,
+    mallows_sample_and_score,
+    resolve_n_jobs,
+    shard_row_ranges,
+    shutdown_workers,
 )
 
 __all__ = [
     "BatchRankings",
+    "CacheStats",
+    "DEFAULT_CACHE",
+    "KernelCache",
+    "MallowsBatchScores",
     "as_batch_orders",
+    "batch_cayley",
     "batch_count_inversions",
+    "batch_footrule",
+    "batch_group_exposures",
+    "batch_hamming",
     "batch_infeasible_breakdown",
     "batch_infeasible_index",
     "batch_kendall_tau",
@@ -44,7 +77,14 @@ __all__ = [
     "batch_ndcg",
     "batch_percent_fair",
     "batch_prefix_group_counts",
+    "batch_spearman",
     "batch_topk_group_counts",
+    "batch_ulam",
     "batch_violation_masks",
+    "batch_weighted_kendall_tau",
     "kendall_tau_matrix",
+    "mallows_sample_and_score",
+    "resolve_n_jobs",
+    "shard_row_ranges",
+    "shutdown_workers",
 ]

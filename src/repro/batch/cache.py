@@ -1,0 +1,216 @@
+"""Cross-loop memoization of per-constraint / per-model precomputations.
+
+The Monte-Carlo experiments call the batched kernels thousands of times with
+a handful of distinct ``(constraints, n)`` pairs — every German Credit repeat
+rebuilds proportional constraints whose rate vectors are *value*-equal to the
+previous repeat's — and the exact-marginal utilities recompute the same
+``(n, theta)`` position-marginal matrix on every call.  This module holds a
+small process-wide cache for both:
+
+* **Prefix bound matrices** — :meth:`KernelCache.count_bounds` memoizes
+  :meth:`repro.fairness.constraints.FairnessConstraints.count_bounds_matrix`
+  per ``(alpha, beta, n)`` *by value* (the rate vectors' bytes), together
+  with the transposed ``int32`` variants the violation kernel consumes;
+* **Position marginals** — :meth:`KernelCache.position_marginals` memoizes
+  the exact ``(n, n)`` Mallows marginal matrix per ``(n, theta)``.
+
+Entries are immutable (arrays are returned read-only), eviction is LRU with
+a bounded entry count, and hit/miss counters are exposed via
+:meth:`KernelCache.stats` so benchmarks can surface cache effectiveness.
+Invalidation is explicit: :meth:`KernelCache.invalidate_constraints` drops
+every entry of one constraint set, :meth:`KernelCache.clear` drops
+everything (counters included).
+
+A process-wide default instance, :data:`DEFAULT_CACHE`, is consulted by
+:func:`repro.batch.kernels.batch_violation_masks` and
+:func:`repro.mallows.marginals.position_marginals`; tests that need a cold
+path can call ``DEFAULT_CACHE.clear()`` or construct a private
+:class:`KernelCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.fairness.constraints import FairnessConstraints
+
+#: Default maximum number of entries kept per table (bounds / marginals).
+_DEFAULT_MAX_ENTRIES = 128
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters and current sizes of one :class:`KernelCache`."""
+
+    bounds_hits: int
+    bounds_misses: int
+    marginals_hits: int
+    marginals_misses: int
+    bounds_entries: int
+    marginals_entries: int
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tables."""
+        return self.bounds_hits + self.marginals_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses across both tables."""
+        return self.bounds_misses + self.marginals_misses
+
+    def summary(self) -> str:
+        """One-line human-readable rendering (used in benchmark reports)."""
+        return (
+            f"bounds {self.bounds_hits} hits / {self.bounds_misses} misses "
+            f"({self.bounds_entries} cached), "
+            f"marginals {self.marginals_hits} hits / "
+            f"{self.marginals_misses} misses ({self.marginals_entries} cached)"
+        )
+
+
+def _constraints_key(constraints: "FairnessConstraints", n: int) -> Hashable:
+    """Value-based key: identical rate vectors hit the same entry even when
+    the ``FairnessConstraints`` object was rebuilt (the German Credit loop
+    constructs fresh proportional constraints every repeat)."""
+    return (constraints.alpha.tobytes(), constraints.beta.tobytes(), n)
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
+
+
+class KernelCache:
+    """Bounded LRU cache of kernel precomputations (thread-safe)."""
+
+    def __init__(self, max_entries: int = _DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._bounds: OrderedDict[Hashable, tuple[np.ndarray, ...]] = OrderedDict()
+        self._marginals: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self._bounds_hits = 0
+        self._bounds_misses = 0
+        self._marginals_hits = 0
+        self._marginals_misses = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def count_bounds(
+        self, constraints: "FairnessConstraints", n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Memoized ``constraints.count_bounds_matrix(n)`` (read-only arrays)."""
+        lower, upper, _, _ = self._bounds_entry(constraints, n)
+        return lower, upper
+
+    def violation_bounds32(
+        self, constraints: "FairnessConstraints", n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The transposed contiguous ``int32`` bound matrices ``(g, n)`` that
+        :func:`repro.batch.kernels.batch_violation_masks` compares against,
+        memoized alongside the raw bounds."""
+        _, _, lower32, upper32 = self._bounds_entry(constraints, n)
+        return lower32, upper32
+
+    def position_marginals(self, n: int, theta: float) -> np.ndarray:
+        """Memoized exact Mallows position-marginal matrix for ``(n, theta)``
+        (read-only; see :func:`repro.mallows.marginals.position_marginals`)."""
+        key = (int(n), float(theta))
+        with self._lock:
+            cached = self._marginals.get(key)
+            if cached is not None:
+                self._marginals_hits += 1
+                self._marginals.move_to_end(key)
+                return cached
+            self._marginals_misses += 1
+        from repro.mallows.marginals import _compute_position_marginals
+
+        value = _freeze(_compute_position_marginals(n, theta))
+        with self._lock:
+            self._marginals[key] = value
+            self._marginals.move_to_end(key)
+            while len(self._marginals) > self._max_entries:
+                self._marginals.popitem(last=False)
+        return value
+
+    def _bounds_entry(
+        self, constraints: "FairnessConstraints", n: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        key = _constraints_key(constraints, n)
+        with self._lock:
+            cached = self._bounds.get(key)
+            if cached is not None:
+                self._bounds_hits += 1
+                self._bounds.move_to_end(key)
+                return cached
+            self._bounds_misses += 1
+        lower, upper = constraints.count_bounds_matrix(n)
+        entry = (
+            _freeze(lower),
+            _freeze(upper),
+            _freeze(np.ascontiguousarray(lower.T.astype(np.int32))),
+            _freeze(np.ascontiguousarray(upper.T.astype(np.int32))),
+        )
+        with self._lock:
+            self._bounds[key] = entry
+            self._bounds.move_to_end(key)
+            while len(self._bounds) > self._max_entries:
+                self._bounds.popitem(last=False)
+        return entry
+
+    # -- maintenance ----------------------------------------------------------
+
+    def invalidate_constraints(self, constraints: "FairnessConstraints") -> int:
+        """Drop every cached bound matrix of ``constraints`` (any ``n``);
+        returns the number of entries removed."""
+        prefix = (constraints.alpha.tobytes(), constraints.beta.tobytes())
+        with self._lock:
+            doomed = [k for k in self._bounds if k[:2] == prefix]
+            for k in doomed:
+                del self._bounds[k]
+        return len(doomed)
+
+    def invalidate_marginals(self, n: int | None = None) -> int:
+        """Drop cached marginal matrices (all of them, or only size ``n``);
+        returns the number of entries removed."""
+        with self._lock:
+            if n is None:
+                count = len(self._marginals)
+                self._marginals.clear()
+                return count
+            doomed = [k for k in self._marginals if k[0] == int(n)]
+            for k in doomed:
+                del self._marginals[k]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._bounds.clear()
+            self._marginals.clear()
+            self._bounds_hits = self._bounds_misses = 0
+            self._marginals_hits = self._marginals_misses = 0
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss counters and table sizes."""
+        with self._lock:
+            return CacheStats(
+                bounds_hits=self._bounds_hits,
+                bounds_misses=self._bounds_misses,
+                marginals_hits=self._marginals_hits,
+                marginals_misses=self._marginals_misses,
+                bounds_entries=len(self._bounds),
+                marginals_entries=len(self._marginals),
+            )
+
+
+#: Process-wide cache consulted by the kernels and the marginal utilities.
+DEFAULT_CACHE = KernelCache()

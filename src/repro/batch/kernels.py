@@ -12,11 +12,19 @@ bounds come from ``constraints.count_bounds_matrix``.
 Exactness
 ---------
 Each kernel computes the *same* integers/floats as its scalar counterpart
-(:func:`repro.rankings.distances.kendall_tau_distance`,
+(:func:`repro.rankings.distances.kendall_tau_distance` and the other
+distance functions of :mod:`repro.rankings.distances`,
 :func:`repro.fairness.infeasible_index.infeasible_index`,
+:func:`repro.fairness.exposure.group_exposures`,
 :func:`repro.rankings.quality.ndcg`) — vectorization never changes results,
 only the per-sample Python overhead.  Large batches are processed in
 row chunks so peak memory stays bounded regardless of ``m``.
+
+Caching
+-------
+Per-``(constraints, n)`` precomputations (the prefix bound matrices of the
+violation kernels) are memoized across calls in
+:data:`repro.batch.cache.DEFAULT_CACHE`; see :mod:`repro.batch.cache`.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import TYPE_CHECKING, Sequence, Union
 
 import numpy as np
 
+from repro.batch.cache import DEFAULT_CACHE
 from repro.batch.container import BatchRankings, as_batch_orders, _invert_rows
 from repro.exceptions import LengthMismatchError
 from repro.rankings.permutation import Ranking
@@ -56,6 +65,28 @@ def _reference_order(reference: "Ranking | Sequence[int] | np.ndarray") -> np.nd
     if isinstance(reference, Ranking):
         return reference.order
     return as_permutation_array(reference, name="reference ranking")
+
+
+def _reference_views(
+    reference: "Ranking | Sequence[int] | np.ndarray",
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(order, positions)`` views of a scalar reference ranking."""
+    if isinstance(reference, Ranking):
+        return reference.order, reference.positions
+    order = as_permutation_array(reference, name="reference ranking")
+    pos = np.empty_like(order)
+    pos[order] = np.arange(order.size, dtype=np.int64)
+    return order, pos
+
+
+def _aligned_positions(
+    batch: BatchLike, reference: "Ranking | Sequence[int] | np.ndarray"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch position view plus reference views, length-checked."""
+    positions = _batch_positions(batch)
+    ref_order, ref_pos = _reference_views(reference)
+    _check_n(positions.shape[1], ref_order.size, "rankings")
+    return positions, ref_order, ref_pos
 
 
 def _check_n(n: int, other: int, what: str) -> None:
@@ -211,13 +242,12 @@ def batch_violation_masks(
     upper_violated = np.zeros((m, n), dtype=bool)
     if m == 0 or n == 0:
         return lower_violated, upper_violated
-    lower, upper = constraints.count_bounds_matrix(n)
     # Per-group 2-D accumulation: for each group, one contiguous (chunk, n)
     # cumsum and two compares OR-ed into the masks.  This sidesteps the
     # (m, n, g) one-hot tensor and its slow length-g axis reduction; counts
     # are at most n so int32 halves the traffic with identical integers.
-    lower32 = np.ascontiguousarray(lower.T.astype(np.int32))  # (g, n)
-    upper32 = np.ascontiguousarray(upper.T.astype(np.int32))
+    # The transposed bound matrices are memoized per (constraints, n).
+    lower32, upper32 = DEFAULT_CACHE.violation_bounds32(constraints, n)
     chunk = max(1, _PREFIX_BUDGET // max(1, n))
     for lo in range(0, m, chunk):
         rows = grp[lo : lo + chunk]
@@ -325,3 +355,192 @@ def batch_ndcg(
     disc = position_discounts(k)
     gains = (s[orders[:, :k]] * disc[None, :]).sum(axis=1)
     return gains / ideal
+
+
+# -- displacement distances ----------------------------------------------------
+
+
+def batch_footrule(
+    batch: BatchLike, reference: "Ranking | Sequence[int] | np.ndarray"
+) -> np.ndarray:
+    """Many-vs-one Spearman footrule ``Σᵢ |π_s(i) − σ(i)|`` per row,
+    ``shape (m,)`` — same integers as
+    :func:`repro.rankings.distances.footrule_distance`."""
+    positions, _, ref_pos = _aligned_positions(batch, reference)
+    return np.abs(positions - ref_pos[None, :]).sum(axis=1)
+
+
+def batch_spearman(
+    batch: BatchLike, reference: "Ranking | Sequence[int] | np.ndarray"
+) -> np.ndarray:
+    """Many-vs-one Spearman distance ``Σᵢ (π_s(i) − σ(i))²`` per row,
+    ``shape (m,)`` — same integers as
+    :func:`repro.rankings.distances.spearman_distance`."""
+    positions, _, ref_pos = _aligned_positions(batch, reference)
+    diff = positions - ref_pos[None, :]
+    return (diff * diff).sum(axis=1)
+
+
+def batch_hamming(
+    batch: BatchLike, reference: "Ranking | Sequence[int] | np.ndarray"
+) -> np.ndarray:
+    """Many-vs-one Hamming distance (positions holding different items) per
+    row, ``shape (m,)`` — same integers as
+    :func:`repro.rankings.distances.hamming_distance`."""
+    positions, _, ref_pos = _aligned_positions(batch, reference)
+    return (positions != ref_pos[None, :]).sum(axis=1, dtype=np.int64)
+
+
+def batch_cayley(
+    batch: BatchLike, reference: "Ranking | Sequence[int] | np.ndarray"
+) -> np.ndarray:
+    """Many-vs-one Cayley distance (minimum transpositions) per row,
+    ``shape (m,)`` — same integers as
+    :func:`repro.rankings.distances.cayley_distance`.
+
+    The scalar kernel walks each cycle of the composite permutation; here
+    cycles are counted by pointer doubling — ``⌈log₂ n⌉`` rounds of
+    min-label propagation along the permutation, all row-parallel — and the
+    distance is ``n`` minus the number of labels that are their own cycle
+    minimum.
+    """
+    positions, _, ref_pos = _aligned_positions(batch, reference)
+    m, n = positions.shape
+    out = np.zeros(m, dtype=np.int64)
+    if m == 0 or n < 2:
+        return out
+    idx = np.arange(n, dtype=np.int64)
+    doubling_rounds = max(1, int(np.ceil(np.log2(n))))
+    chunk = max(1, _PREFIX_BUDGET // max(1, n))
+    for lo in range(0, m, chunk):
+        pos = positions[lo : lo + chunk]
+        c = pos.shape[0]
+        # comp[s, π_s(i)] = σ(i): maps each row's positions to the
+        # reference's, exactly the scalar kernel's composite permutation.
+        comp = np.empty((c, n), dtype=np.int64)
+        np.put_along_axis(comp, pos, np.broadcast_to(ref_pos, (c, n)), axis=1)
+        labels = np.broadcast_to(idx, (c, n)).copy()
+        hop = comp
+        for _ in range(doubling_rounds):
+            np.minimum(
+                labels, np.take_along_axis(labels, hop, axis=1), out=labels
+            )
+            hop = np.take_along_axis(hop, hop, axis=1)
+        cycles = (labels == idx[None, :]).sum(axis=1, dtype=np.int64)
+        out[lo : lo + c] = n - cycles
+    return out
+
+
+def batch_ulam(
+    batch: BatchLike, reference: "Ranking | Sequence[int] | np.ndarray"
+) -> np.ndarray:
+    """Many-vs-one Ulam distance (``n`` − longest common subsequence) per
+    row, ``shape (m,)`` — same integers as
+    :func:`repro.rankings.distances.ulam_distance`.
+
+    Row-parallel patience sorting: the per-row sorted ``tails`` arrays are
+    advanced one sequence element at a time, with the binary search replaced
+    by a vectorized rank count (``O(n)`` per step, ``O(n²)`` per row — all
+    inside NumPy, which beats the scalar ``O(n log n)`` Python loop by far
+    at the paper's scales).
+    """
+    positions, ref_order, _ = _aligned_positions(batch, reference)
+    m, n = positions.shape
+    if m == 0 or n == 0:
+        return np.zeros(m, dtype=np.int64)
+    chunk = max(1, _PREFIX_BUDGET // max(1, n))
+    out = np.empty(m, dtype=np.int64)
+    for lo in range(0, m, chunk):
+        seq = positions[lo : lo + chunk][:, ref_order]
+        c = seq.shape[0]
+        rows = np.arange(c)
+        # tails[s] holds the best (smallest) tail of each increasing-run
+        # length, padded with the sentinel n; it stays sorted throughout.
+        tails = np.full((c, n), n, dtype=np.int64)
+        for j in range(n):
+            value = seq[:, j]
+            slot = (tails < value[:, None]).sum(axis=1)
+            tails[rows, slot] = value
+        out[lo : lo + c] = n - (tails < n).sum(axis=1)
+    return out
+
+
+def batch_weighted_kendall_tau(
+    batch: BatchLike,
+    reference: "Ranking | Sequence[int] | np.ndarray",
+    weights: Sequence[float] | np.ndarray | None = None,
+) -> np.ndarray:
+    """Many-vs-one position-weighted Kendall tau per row, ``shape (m,)``
+    float64 — same floats as
+    :func:`repro.rankings.distances.weighted_kendall_tau` (same default DCG
+    weights, same pair weighting by the higher position in the row)."""
+    positions, _, ref_pos = _aligned_positions(batch, reference)
+    m, n = positions.shape
+    if n < 2:
+        return np.zeros(m, dtype=np.float64)
+    if weights is None:
+        w = 1.0 / np.log1p(np.arange(1, n + 1, dtype=np.float64))
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n,):
+            raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+    ds = ref_pos[:, None] - ref_pos[None, :]
+    pair_mask = np.triu(np.ones((n, n), dtype=bool), k=1)
+    out = np.empty(m, dtype=np.float64)
+    # Four (chunk, n, n) temporaries live at once, hence the /4 budget.
+    chunk = max(1, _PAIR_BUDGET // (4 * n * n))
+    for lo in range(0, m, chunk):
+        p = positions[lo : lo + chunk]
+        dp = p[:, :, None] - p[:, None, :]
+        discordant = (dp * ds[None, :, :]) < 0
+        discordant &= pair_mask[None, :, :]
+        top_pos = np.minimum(p[:, :, None], p[:, None, :])
+        contrib = w[top_pos] * discordant
+        out[lo : lo + p.shape[0]] = contrib.reshape(p.shape[0], -1).sum(axis=1)
+    return out
+
+
+# -- exposure ------------------------------------------------------------------
+
+
+def batch_group_exposures(
+    batch: BatchLike, groups: "GroupAssignment", k: int | None = None
+) -> np.ndarray:
+    """Mean exposure of each group's members per row, ``shape (m, g)`` —
+    same floats as :func:`repro.fairness.exposure.group_exposures` (the
+    accumulation visits items in index order exactly like the scalar
+    ``np.add.at``, so the sums are bit-identical).
+
+    Groups with no members get exposure 0, as in the scalar function.
+    """
+    positions = _batch_positions(batch)
+    m, n = positions.shape
+    _check_n(n, groups.n_items, "ranking and group assignment")
+    g = groups.n_groups
+    k = n if k is None else k
+    if not 0 <= k <= n:
+        raise ValueError(f"k must be in [0, {n}], got {k}")
+    sizes = groups.group_sizes
+    nonempty = sizes > 0
+    out = np.zeros((m, g), dtype=np.float64)
+    if m == 0:
+        return out
+    # Exposure of item i in row s is the discount of its position (0 beyond
+    # k); padding the discount vector turns that into one gather.
+    disc_pad = np.zeros(n, dtype=np.float64)
+    disc_pad[:k] = position_discounts(k)
+    chunk = max(1, _PREFIX_BUDGET // max(1, n))
+    for lo in range(0, m, chunk):
+        pos = positions[lo : lo + chunk]
+        c = pos.shape[0]
+        item_exposure = disc_pad[pos]
+        # bincount accumulates in input (row-major, item-index) order — the
+        # same sequential order as the scalar kernel's np.add.at.
+        offsets = groups.indices[None, :] + g * np.arange(c, dtype=np.int64)[:, None]
+        totals = np.bincount(
+            offsets.ravel(), weights=item_exposure.ravel(), minlength=c * g
+        ).reshape(c, g)
+        out[lo : lo + c, nonempty] = totals[:, nonempty] / sizes[nonempty]
+    return out

@@ -1,0 +1,330 @@
+"""Multi-core fan-out of the Mallows sampling + scoring pipeline.
+
+The Monte-Carlo experiments all run the same inner pipeline: draw an
+``(m, n)`` batch of Mallows samples, then score every row with the batched
+kernels.  Rows are mutually independent, so the batch can be sharded by row
+range across worker processes.  This module provides that sharder plus the
+seeding scheme that makes it *deterministically equivalent* to the
+single-process path.
+
+Determinism
+-----------
+The sampler consumes exactly one uniform double per ``(row, item)`` cell,
+row-major, from the caller's generator.  Each shard's worker therefore gets
+a clone of the caller's bit generator advanced to its first row's stream
+offset (``lo * n`` draws) — PCG64's ``advance`` makes this O(1) — and the
+parent generator is advanced past all ``m * n`` draws afterwards.  The
+upshot, pinned by the equivalence tests:
+
+* any ``n_jobs`` (including 1) produces **byte-identical** samples and
+  scores under a fixed seed;
+* the caller's generator ends in the **same state** as if it had drawn the
+  whole batch single-process, so downstream consumers of the same stream
+  (e.g. bootstrap resampling) are unaffected by the fan-out.
+
+Bit generators without ``advance`` (e.g. MT19937) fall back to drawing the
+displacement matrix in the parent and shipping row slices to the workers —
+same outputs, slightly less parallel.
+
+Worker processes are pooled per ``n_jobs`` and reused across pipeline calls
+(the experiments call the pipeline in tight loops); :func:`shutdown_workers`
+tears the pools down explicitly, and an ``atexit`` hook does so at
+interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.rankings.permutation import Ranking
+from repro.utils.rng import SeedLike, as_generator
+
+if TYPE_CHECKING:  # lazy at runtime: repro.mallows.sampling imports repro.batch
+    from repro.fairness.constraints import FairnessConstraints
+    from repro.groups.attributes import GroupAssignment
+
+#: Below this many rows per worker the pool overhead dominates and the
+#: pipeline runs single-process instead (output is identical either way; a
+#: one-time RuntimeWarning flags the declined fan-out request).
+MIN_ROWS_PER_JOB = 128
+
+_small_batch_warned = False
+
+
+def _warn_small_batch(m: int, n_jobs: int) -> None:
+    global _small_batch_warned
+    if _small_batch_warned:
+        return
+    _small_batch_warned = True
+    warnings.warn(
+        f"n_jobs={n_jobs} requested but the batch has only {m} rows "
+        f"(< 2 x MIN_ROWS_PER_JOB = {2 * MIN_ROWS_PER_JOB}), so the pipeline "
+        "runs single-process: at this size the worker-pool dispatch costs "
+        "more than the work.  Output is identical either way.  Small-m "
+        "experiment loops parallelize at the per-trial granularity instead "
+        "(see ROADMAP).  This warning is shown once per process.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+#: Live executors keyed by worker count, reused across pipeline calls.
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+
+
+def shard_row_ranges(m: int, n_shards: int) -> list[tuple[int, int]]:
+    """Split ``m`` rows into at most ``n_shards`` contiguous ``(lo, hi)``
+    ranges of near-equal size (empty ranges are dropped)."""
+    if m < 0:
+        raise ValueError(f"row count must be non-negative, got {m}")
+    if n_shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {n_shards}")
+    base, extra = divmod(m, n_shards)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for s in range(n_shards):
+        hi = lo + base + (1 if s < extra else 0)
+        if hi > lo:
+            ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Normalize an ``n_jobs`` request: ``-1`` means all cores, otherwise
+    the value must be a positive integer."""
+    if n_jobs == -1:
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}")
+    return int(n_jobs)
+
+
+def shutdown_workers() -> None:
+    """Tear down every pooled worker process (they are lazily recreated)."""
+    for executor in _EXECUTORS.values():
+        executor.shutdown(wait=True, cancel_futures=True)
+    _EXECUTORS.clear()
+
+
+atexit.register(shutdown_workers)
+
+
+def _get_executor(n_jobs: int) -> ProcessPoolExecutor:
+    executor = _EXECUTORS.get(n_jobs)
+    if executor is None:
+        executor = ProcessPoolExecutor(max_workers=n_jobs)
+        _EXECUTORS[n_jobs] = executor
+    return executor
+
+
+@dataclass(frozen=True)
+class MallowsBatchScores:
+    """Outputs of one sharded sampling + scoring pipeline run.
+
+    Attributes are ``None`` when the corresponding input (constraints,
+    scores, ``return_orders``) was not supplied.
+    """
+
+    infeasible_index: np.ndarray | None
+    ndcg: np.ndarray | None
+    orders: np.ndarray | None
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs to sample and score rows ``[lo, hi)``."""
+
+    center_order: np.ndarray
+    theta: float
+    rows: int
+    bit_generator: object | None  # advanced clone; None => displacements set
+    displacements: np.ndarray | None
+    groups: "GroupAssignment | None"
+    constraints: "FairnessConstraints | None"
+    scores: np.ndarray | None
+    ndcg_k: int | None
+    return_orders: bool
+
+
+def _score_orders(
+    orders: np.ndarray, task: _ShardTask
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+    from repro.batch.kernels import batch_infeasible_index, batch_ndcg
+
+    iis = None
+    if task.constraints is not None:
+        iis = batch_infeasible_index(orders, task.groups, task.constraints)
+    ndcgs = None
+    if task.scores is not None:
+        ndcgs = batch_ndcg(orders, task.scores, k=task.ndcg_k)
+    return iis, ndcgs, orders if task.return_orders else None
+
+
+def _run_shard(
+    task: _ShardTask,
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+    """Worker entry point: materialize the shard's rows, score them."""
+    from repro.mallows.sampling import (
+        _displacement_draws,
+        _orders_from_displacements,
+    )
+
+    if task.displacements is not None:
+        v = task.displacements
+    else:
+        rng = np.random.Generator(task.bit_generator)
+        v = _displacement_draws(
+            task.center_order.size, task.theta, task.rows, rng
+        )
+    orders = _orders_from_displacements(task.center_order, v)
+    return _score_orders(orders, task)
+
+
+def _shard_bit_generators(
+    rng: np.random.Generator, ranges: Sequence[tuple[int, int]], n: int
+) -> list[object] | None:
+    """Clones of ``rng``'s bit generator advanced to each shard's stream
+    offset, or ``None`` when the bit generator cannot ``advance``.
+
+    On success the parent generator is advanced past the whole batch, so its
+    subsequent draws match the single-process path exactly.
+    """
+    base = rng.bit_generator
+    if not hasattr(base, "advance"):
+        return None
+    state = base.state
+    clones: list[object] = []
+    for lo, _hi in ranges:
+        clone = type(base)()
+        clone.state = state
+        clone.advance(lo * n)
+        clones.append(clone)
+    base.advance(ranges[-1][1] * n)
+    return clones
+
+
+def mallows_sample_and_score(
+    center: Ranking,
+    theta: float,
+    m: int,
+    *,
+    groups: "GroupAssignment | None" = None,
+    constraints: "FairnessConstraints | None" = None,
+    scores: Sequence[float] | np.ndarray | None = None,
+    ndcg_k: int | None = None,
+    seed: SeedLike = None,
+    n_jobs: int = 1,
+    return_orders: bool = False,
+) -> MallowsBatchScores:
+    """Draw ``m`` Mallows samples around ``center`` and score every row,
+    sharded across ``n_jobs`` worker processes.
+
+    Parameters
+    ----------
+    groups, constraints:
+        When given (together), the per-row Two-Sided Infeasible Index is
+        computed.
+    scores:
+        When given, the per-row NDCG against these item scores is computed
+        (top ``ndcg_k``; the full ranking by default).
+    seed:
+        Any :data:`~repro.utils.rng.SeedLike`.  A passed-in generator is
+        consumed exactly as the single-process path would consume it.
+    n_jobs:
+        Worker processes (``-1`` = all cores).  Output is byte-identical
+        for every value.  Batches under ``2 * MIN_ROWS_PER_JOB`` rows run
+        single-process regardless (pool dispatch would cost more than the
+        work); a one-time :class:`RuntimeWarning` flags the declined
+        request so the no-op is never silent.
+    return_orders:
+        Also return the ``(m, n)`` sample orders (costs inter-process
+        transfer of the whole batch when sharded).
+    """
+    from repro.mallows.sampling import sample_mallows_batch
+
+    if (groups is None) != (constraints is None):
+        raise ValueError("groups and constraints must be supplied together")
+    n_jobs = resolve_n_jobs(n_jobs)
+    n = len(center)
+    score_array = None
+    if scores is not None:
+        score_array = np.asarray(scores, dtype=np.float64)
+
+    n_shards = min(n_jobs, max(1, m // MIN_ROWS_PER_JOB)) if n > 0 else 1
+    if n_shards <= 1:
+        if n_jobs > 1 and 0 < m < 2 * MIN_ROWS_PER_JOB:
+            _warn_small_batch(m, n_jobs)
+        from repro.batch.kernels import batch_infeasible_index, batch_ndcg
+
+        rng = as_generator(seed)
+        orders = sample_mallows_batch(center, theta, m, seed=rng)
+        iis = None
+        if constraints is not None:
+            iis = batch_infeasible_index(orders, groups, constraints)
+        ndcgs = None
+        if score_array is not None:
+            ndcgs = batch_ndcg(orders, score_array, k=ndcg_k)
+        return MallowsBatchScores(
+            infeasible_index=iis,
+            ndcg=ndcgs,
+            orders=orders if return_orders else None,
+        )
+
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    rng = as_generator(seed)
+    ranges = shard_row_ranges(m, n_shards)
+    clones = _shard_bit_generators(rng, ranges, n)
+    if clones is None:
+        # Non-advanceable bit generator: draw centrally, decode remotely.
+        from repro.mallows.sampling import _displacement_draws
+
+        v = _displacement_draws(n, theta, m, rng)
+        shard_rngs: list[object | None] = [None] * len(ranges)
+        shard_vs: list[np.ndarray | None] = [v[lo:hi] for lo, hi in ranges]
+    else:
+        shard_rngs = clones
+        shard_vs = [None] * len(ranges)
+
+    tasks = [
+        _ShardTask(
+            center_order=center.order,
+            theta=theta,
+            rows=hi - lo,
+            bit_generator=shard_rngs[s],
+            displacements=shard_vs[s],
+            groups=groups,
+            constraints=constraints,
+            scores=score_array,
+            ndcg_k=ndcg_k,
+            return_orders=return_orders,
+        )
+        for s, (lo, hi) in enumerate(ranges)
+    ]
+    executor = _get_executor(n_jobs)
+    try:
+        results = list(executor.map(_run_shard, tasks))
+    except BrokenProcessPool:
+        _EXECUTORS.pop(n_jobs, None)
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+
+    def _concat(parts: list[np.ndarray | None]) -> np.ndarray | None:
+        if any(p is None for p in parts):
+            return None
+        return np.concatenate(parts, axis=0)
+
+    return MallowsBatchScores(
+        infeasible_index=_concat([r[0] for r in results]),
+        ndcg=_concat([r[1] for r in results]),
+        orders=_concat([r[2] for r in results]),
+    )

@@ -14,12 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.batch import batch_infeasible_index
+from repro.batch import mallows_sample_and_score
 from repro.datasets.synthetic import engineered_ranking_with_ii
 from repro.experiments.config import Fig1Config
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.infeasible_index import infeasible_index
-from repro.mallows.sampling import sample_mallows_batch
 from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import format_series
@@ -80,8 +79,19 @@ def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
         for theta in config.thetas:
             rng = rngs[rng_idx]
             rng_idx += 1
-            orders = sample_mallows_batch(center, theta, config.n_samples, seed=rng)
-            iis = batch_infeasible_index(orders, groups, constraints)
+            # Sampling + scoring fans out across config.n_jobs workers;
+            # the result (and the rng stream handed to the bootstrap) is
+            # byte-identical for every n_jobs value.
+            scored = mallows_sample_and_score(
+                center,
+                theta,
+                config.n_samples,
+                groups=groups,
+                constraints=constraints,
+                seed=rng,
+                n_jobs=config.n_jobs,
+            )
+            iis = scored.infeasible_index
             per_theta[theta] = bootstrap_ci(
                 iis.astype(float),
                 n_resamples=config.n_bootstrap,

@@ -13,12 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.batch import batch_infeasible_index, batch_ndcg
+from repro.batch import mallows_sample_and_score
 from repro.datasets.synthetic import two_group_shifted_scores
 from repro.experiments.config import Fig34Config
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.infeasible_index import infeasible_index
-from repro.mallows.sampling import sample_mallows_batch
 from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import format_series
@@ -91,13 +90,20 @@ def run_fig34(config: Fig34Config = Fig34Config()) -> Fig34Result:
                 infeasible_index(sample.ranking, sample.groups, constraints)
             )
             for theta in config.thetas:
-                orders = sample_mallows_batch(
-                    sample.ranking, theta, config.samples_per_trial, seed=rng
+                # One sharded sampling+scoring pipeline call per theta;
+                # byte-identical across n_jobs values under the fixed seed.
+                scored = mallows_sample_and_score(
+                    sample.ranking,
+                    theta,
+                    config.samples_per_trial,
+                    groups=sample.groups,
+                    constraints=constraints,
+                    scores=sample.scores,
+                    seed=rng,
+                    n_jobs=config.n_jobs,
                 )
-                iis = batch_infeasible_index(orders, sample.groups, constraints)
-                ii_per_theta[theta].append(float(iis.mean()))
-                ndcgs = batch_ndcg(orders, sample.scores)
-                ndcg_per_theta[theta].append(float(ndcgs.mean()))
+                ii_per_theta[theta].append(float(scored.infeasible_index.mean()))
+                ndcg_per_theta[theta].append(float(scored.ndcg.mean()))
 
         central_ii[delta] = float(np.mean(central_iis))
         sample_ii[delta] = {

@@ -32,6 +32,7 @@ PANELS: tuple[tuple[float, float], ...] = (
 def run_all(
     fast: bool = False,
     progress: Callable[[str], None] | None = None,
+    n_jobs: int = 1,
 ) -> dict[str, str]:
     """Run every experiment; returns ``{artefact id: text report}``.
 
@@ -42,11 +43,19 @@ def run_all(
         end-to-end pass; the workload shapes are unchanged.
     progress:
         Optional callback receiving a line per completed artefact.
+    n_jobs:
+        Worker processes for the Mallows sampling+scoring pipelines
+        (Figs. 1, 3, 4); ``-1`` uses every core.  Reports are byte-identical
+        for every value.
     """
     say = progress or (lambda _msg: None)
     reports: dict[str, str] = {}
 
-    fig1_cfg = Fig1Config(n_samples=50, n_bootstrap=200) if fast else Fig1Config()
+    fig1_cfg = (
+        Fig1Config(n_samples=50, n_bootstrap=200, n_jobs=n_jobs)
+        if fast
+        else Fig1Config(n_jobs=n_jobs)
+    )
     result1 = run_fig1(fig1_cfg)
     reports["fig1"] = result1.to_text()
     say("fig1 done")
@@ -57,9 +66,9 @@ def run_all(
     say("fig2 done")
 
     fig34_cfg = (
-        Fig34Config(n_trials=10, samples_per_trial=10, n_bootstrap=200)
+        Fig34Config(n_trials=10, samples_per_trial=10, n_bootstrap=200, n_jobs=n_jobs)
         if fast
-        else Fig34Config()
+        else Fig34Config(n_jobs=n_jobs)
     )
     result34 = run_fig34(fig34_cfg)
     reports["fig3"] = result34.to_text_fig3()

@@ -148,11 +148,18 @@ def expected_exposure_under_mallows(
 
     Quantifies how much exposure the noise redistributes between groups —
     the exposure-level counterpart of the paper's Infeasible Index plots.
+
+    Raises
+    ------
+    ValueError
+        If ``m < 1`` — an empty Monte-Carlo average is undefined (the old
+        behaviour silently returned all-zero exposures).
     """
+    from repro.batch.kernels import batch_group_exposures
     from repro.mallows.sampling import sample_mallows_batch
 
+    if m < 1:
+        raise ValueError(f"sample count m must be >= 1, got {m}")
     orders = sample_mallows_batch(center, theta, m, seed=seed)
-    totals = np.zeros(groups.n_groups, dtype=np.float64)
-    for row in orders:
-        totals += group_exposures(Ranking(row), groups, k=k)
-    return totals / max(m, 1)
+    per_row = batch_group_exposures(orders, groups, k=k)
+    return per_row.sum(axis=0) / m

@@ -112,6 +112,10 @@ def kendall_tau_coefficient(pi: RankingLike, sigma: RankingLike) -> float:
     Equals 1 for identical rankings and −1 for exact reversals.
     """
     p = _positions(pi)
+    s = _positions(sigma)
+    # Validate before the degenerate-size early return: a length-mismatched
+    # sigma must raise, not silently score 1.0.
+    check_same_length(p, s, "rankings")
     n = p.size
     if n < 2:
         return 1.0

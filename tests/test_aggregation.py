@@ -49,6 +49,36 @@ class TestPairwise:
         with pytest.raises(ValueError):
             pairwise_preference_matrix([])
 
+    def test_matrix_matches_per_ranking_loop(self, noisy_votes):
+        """The chunked stacked accumulation equals the original loop."""
+        _, votes = noisy_votes
+        n = 6
+        expected = np.zeros((n, n), dtype=np.int64)
+        for r in votes:
+            pos = r.positions
+            expected += (pos[:, None] < pos[None, :]).astype(np.int64)
+        np.fill_diagonal(expected, 0)
+        assert np.array_equal(pairwise_preference_matrix(votes), expected)
+
+    def test_mismatched_lengths_raise(self):
+        from repro.exceptions import LengthMismatchError
+
+        with pytest.raises(LengthMismatchError):
+            pairwise_preference_matrix([identity(4), identity(5)])
+        with pytest.raises(LengthMismatchError):
+            total_kendall_tau(identity(4), [identity(4), identity(5)])
+
+    def test_total_kt_empty_votes_is_zero(self):
+        assert total_kendall_tau(identity(5), []) == 0
+
+    def test_borda_scores_match_per_ranking_loop(self, noisy_votes):
+        _, votes = noisy_votes
+        n = 6
+        expected = np.zeros(n, dtype=np.float64)
+        for r in votes:
+            expected += (n - 1) - r.positions
+        assert np.array_equal(borda_scores(votes), expected)
+
 
 class TestBordaCopeland:
     def test_borda_recovers_consensus(self, noisy_votes):
@@ -99,6 +129,56 @@ class TestKemeny:
             kemeny_aggregate_exact([])
         with pytest.raises(ValueError):
             kwiksort_aggregate([])
+
+    def test_exact_rejects_mismatched_lengths(self):
+        # Regression: lengths are now validated before the preference
+        # matrix is built (and before the factorial-size gate).
+        from repro.exceptions import LengthMismatchError
+
+        with pytest.raises(LengthMismatchError):
+            kemeny_aggregate_exact([identity(4), identity(5)])
+        with pytest.raises(LengthMismatchError):
+            kemeny_aggregate_exact([identity(4), identity(12)])
+
+    def test_kwiksort_survives_pathological_pivot_chains(self):
+        """Regression: all-left/all-right partitions used to recurse n deep
+        and overflow the interpreter stack for large n."""
+        from repro.aggregation.kemeny import _kwiksort
+
+        class _AlwaysFirst:
+            def integers(self, lo, hi):
+                return lo
+
+        n = 5000  # far beyond the default recursion limit
+        w = np.triu(np.ones((n, n), dtype=np.int64), k=1)  # i before j iff i < j
+        ordered = _kwiksort(list(range(n)), w, _AlwaysFirst())
+        assert ordered == list(range(n))
+
+    def test_kwiksort_seeded_outputs_match_recursive_reference(self):
+        """The explicit-stack rewrite draws pivots in the recursive order,
+        so seeded outputs are unchanged."""
+        from repro.aggregation.kemeny import _kwiksort
+        from repro.aggregation.pairwise import pairwise_preference_matrix
+
+        def recursive(items, w, rng):
+            if len(items) <= 1:
+                return items
+            pivot = items[int(rng.integers(0, len(items)))]
+            left = [i for i in items if i != pivot and w[i, pivot] > w[pivot, i]]
+            right = [i for i in items if i != pivot and w[i, pivot] <= w[pivot, i]]
+            return recursive(left, w, rng) + [pivot] + recursive(right, w, rng)
+
+        center = random_ranking(9, seed=4)
+        votes = sample_mallows(center, theta=0.8, m=15, seed=6)
+        w = pairwise_preference_matrix(votes)
+        for seed in range(5):
+            got = _kwiksort(
+                list(range(9)), w, np.random.default_rng(seed)
+            )
+            expected = recursive(
+                list(range(9)), w, np.random.default_rng(seed)
+            )
+            assert got == expected
 
 
 class TestFairPipeline:

@@ -1,0 +1,145 @@
+"""Unit tests for the cross-loop kernel cache (:mod:`repro.batch.cache`)."""
+
+import numpy as np
+import pytest
+
+from repro.batch import DEFAULT_CACHE, KernelCache, batch_violation_masks
+from repro.batch.cache import CacheStats
+from repro.fairness.constraints import FairnessConstraints
+from repro.groups.attributes import GroupAssignment
+from repro.mallows.marginals import _compute_position_marginals, position_marginals
+
+
+@pytest.fixture
+def constraints():
+    return FairnessConstraints.from_rates([0.6, 0.6], [0.4, 0.4], k=1)
+
+
+class TestBoundsCache:
+    def test_values_match_uncached(self, constraints):
+        cache = KernelCache()
+        lower, upper = cache.count_bounds(constraints, 8)
+        ref_lower, ref_upper = constraints.count_bounds_matrix(8)
+        assert np.array_equal(lower, ref_lower)
+        assert np.array_equal(upper, ref_upper)
+        lo32, up32 = cache.violation_bounds32(constraints, 8)
+        assert np.array_equal(lo32, ref_lower.T.astype(np.int32))
+        assert np.array_equal(up32, ref_upper.T.astype(np.int32))
+
+    def test_hit_miss_counters(self, constraints):
+        cache = KernelCache()
+        cache.count_bounds(constraints, 8)
+        stats = cache.stats()
+        assert (stats.bounds_misses, stats.bounds_hits) == (1, 0)
+        cache.count_bounds(constraints, 8)
+        cache.violation_bounds32(constraints, 8)
+        stats = cache.stats()
+        assert (stats.bounds_misses, stats.bounds_hits) == (1, 2)
+        # A different prefix length is a different entry.
+        cache.count_bounds(constraints, 9)
+        assert cache.stats().bounds_misses == 2
+
+    def test_value_based_keying(self):
+        """Rebuilt-but-equal constraints (the German Credit loop) hit."""
+        cache = KernelCache()
+        a = FairnessConstraints.from_rates([0.5, 0.5], [0.5, 0.5], k=1)
+        b = FairnessConstraints.from_rates([0.5, 0.5], [0.5, 0.5], k=3)
+        cache.count_bounds(a, 6)
+        cache.count_bounds(b, 6)  # same rates, different object and k
+        stats = cache.stats()
+        assert (stats.bounds_misses, stats.bounds_hits) == (1, 1)
+
+    def test_returned_arrays_read_only(self, constraints):
+        cache = KernelCache()
+        lower, _ = cache.count_bounds(constraints, 5)
+        with pytest.raises(ValueError):
+            lower[0, 0] = 99
+
+    def test_invalidate_constraints(self, constraints):
+        cache = KernelCache()
+        cache.count_bounds(constraints, 5)
+        cache.count_bounds(constraints, 6)
+        other = FairnessConstraints.from_rates([1.0], [0.0], k=1)
+        cache.count_bounds(other, 5)
+        assert cache.invalidate_constraints(constraints) == 2
+        assert cache.stats().bounds_entries == 1
+        cache.count_bounds(constraints, 5)  # cold again
+        assert cache.stats().bounds_misses == 4
+
+    def test_lru_eviction(self):
+        cache = KernelCache(max_entries=2)
+        cons = [
+            FairnessConstraints.from_rates([r], [0.0], k=1)
+            for r in (0.25, 0.5, 0.75)
+        ]
+        cache.count_bounds(cons[0], 4)
+        cache.count_bounds(cons[1], 4)
+        cache.count_bounds(cons[2], 4)  # evicts cons[0]
+        assert cache.stats().bounds_entries == 2
+        cache.count_bounds(cons[2], 4)
+        assert cache.stats().bounds_hits == 1
+        cache.count_bounds(cons[0], 4)  # re-inserted: a miss
+        assert cache.stats().bounds_misses == 4
+
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            KernelCache(max_entries=0)
+
+
+class TestMarginalsCache:
+    def test_values_match_uncached(self):
+        cache = KernelCache()
+        got = cache.position_marginals(7, 0.8)
+        assert np.array_equal(got, _compute_position_marginals(7, 0.8))
+        assert not got.flags.writeable
+
+    def test_hit_miss_and_invalidate(self):
+        cache = KernelCache()
+        cache.position_marginals(6, 0.5)
+        cache.position_marginals(6, 0.5)
+        cache.position_marginals(6, 1.0)
+        stats = cache.stats()
+        assert (stats.marginals_misses, stats.marginals_hits) == (2, 1)
+        assert cache.invalidate_marginals(6) == 2
+        assert cache.stats().marginals_entries == 0
+        cache.position_marginals(6, 0.5)
+        cache.position_marginals(5, 0.5)
+        assert cache.invalidate_marginals() == 2
+
+    def test_public_function_is_cached(self):
+        DEFAULT_CACHE.clear()
+        a = position_marginals(9, 0.33)
+        before = DEFAULT_CACHE.stats().marginals_hits
+        b = position_marginals(9, 0.33)
+        assert DEFAULT_CACHE.stats().marginals_hits == before + 1
+        assert a is b  # the very same cached (read-only) matrix
+
+    def test_clear_resets_counters(self):
+        cache = KernelCache()
+        cache.position_marginals(4, 0.1)
+        cache.clear()
+        stats = cache.stats()
+        assert stats.hits == stats.misses == 0
+        assert stats.marginals_entries == stats.bounds_entries == 0
+
+
+class TestDefaultCacheWiring:
+    def test_violation_masks_use_default_cache(self):
+        DEFAULT_CACHE.clear()
+        groups = GroupAssignment.from_indices(np.arange(8) % 2)
+        constraints = FairnessConstraints.proportional(groups)
+        orders = np.stack([np.random.default_rng(s).permutation(8) for s in range(5)])
+        batch_violation_masks(orders, groups, constraints)
+        first = DEFAULT_CACHE.stats()
+        assert first.bounds_misses >= 1
+        batch_violation_masks(orders, groups, constraints)
+        second = DEFAULT_CACHE.stats()
+        assert second.bounds_hits == first.bounds_hits + 1
+        assert second.bounds_misses == first.bounds_misses
+
+    def test_stats_summary_renders(self):
+        stats = CacheStats(1, 2, 3, 4, 5, 6)
+        text = stats.summary()
+        assert "bounds 1 hits / 2 misses" in text
+        assert "marginals 3 hits / 4 misses" in text
+        assert stats.hits == 4 and stats.misses == 6

@@ -1,0 +1,229 @@
+"""Equivalence tests for the multi-core sampling+scoring fan-out.
+
+The contract of :mod:`repro.batch.parallel`: for a fixed seed, every
+``n_jobs`` value produces byte-identical samples and scores, and leaves a
+passed-in generator in exactly the state the single-process path would —
+so whole experiments are reproducible independently of the worker count.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    mallows_sample_and_score,
+    resolve_n_jobs,
+    shard_row_ranges,
+)
+from repro.experiments.config import Fig1Config, Fig34Config
+from repro.experiments.fig1_infeasible import run_fig1
+from repro.experiments.fig34_tradeoff import run_fig34
+from repro.fairness.constraints import FairnessConstraints
+from repro.groups.attributes import GroupAssignment
+from repro.mallows.sampling import sample_mallows_batch
+from repro.rankings.permutation import random_ranking
+
+N = 15
+M = 700  # above MIN_ROWS_PER_JOB * 2, so two shards really fan out
+THETA = 0.7
+
+
+@pytest.fixture(scope="module")
+def workload():
+    center = random_ranking(N, seed=3)
+    groups = GroupAssignment.from_indices(np.arange(N) % 2)
+    constraints = FairnessConstraints.proportional(groups)
+    scores = np.linspace(2.0, 0.1, N)
+    return center, groups, constraints, scores
+
+
+class TestSharding:
+    def test_shard_row_ranges_cover_and_balance(self):
+        assert shard_row_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert shard_row_ranges(2, 5) == [(0, 1), (1, 2)]  # empties dropped
+        assert shard_row_ranges(0, 4) == []
+        with pytest.raises(ValueError):
+            shard_row_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            shard_row_ranges(5, 0)
+
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(-1) >= 1
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_n_jobs(-2)
+
+    def test_stream_slice_matches_full_draw(self):
+        """The invariant the sharder is built on: an advanced PCG64 clone
+        reproduces the trailing rows of one big row-major draw."""
+        rng = np.random.default_rng(5)
+        state = rng.bit_generator.state
+        full = rng.random((10, 7))
+        clone = np.random.PCG64()
+        clone.state = state
+        clone.advance(4 * 7)
+        part = np.random.Generator(clone).random((6, 7))
+        assert np.array_equal(full[4:], part)
+
+
+class TestPipelineEquivalence:
+    def test_njobs_byte_identical(self, workload):
+        center, groups, constraints, scores = workload
+        results = [
+            mallows_sample_and_score(
+                center,
+                THETA,
+                M,
+                groups=groups,
+                constraints=constraints,
+                scores=scores,
+                seed=2024,
+                n_jobs=n_jobs,
+                return_orders=True,
+            )
+            for n_jobs in (1, 2, 3)
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0].orders, other.orders)
+            assert np.array_equal(
+                results[0].infeasible_index, other.infeasible_index
+            )
+            assert np.array_equal(results[0].ndcg, other.ndcg)
+
+    def test_matches_legacy_single_process_path(self, workload):
+        """n_jobs > 1 reproduces the plain sample_mallows_batch draws."""
+        center, groups, constraints, _ = workload
+        legacy = sample_mallows_batch(center, THETA, M, seed=99)
+        sharded = mallows_sample_and_score(
+            center,
+            THETA,
+            M,
+            groups=groups,
+            constraints=constraints,
+            seed=99,
+            n_jobs=2,
+            return_orders=True,
+        )
+        assert np.array_equal(legacy, sharded.orders)
+
+    def test_parent_generator_end_state(self, workload):
+        """After a sharded run the caller's generator continues exactly
+        where the single-process path would have left it."""
+        center, groups, constraints, _ = workload
+        g1 = np.random.default_rng(41)
+        g2 = np.random.default_rng(41)
+        a = mallows_sample_and_score(
+            center, THETA, M, groups=groups, constraints=constraints,
+            seed=g1, n_jobs=1,
+        )
+        b = mallows_sample_and_score(
+            center, THETA, M, groups=groups, constraints=constraints,
+            seed=g2, n_jobs=2,
+        )
+        assert np.array_equal(a.infeasible_index, b.infeasible_index)
+        assert np.array_equal(g1.random(20), g2.random(20))
+
+    def test_non_advanceable_bit_generator_fallback(self, workload):
+        """MT19937 cannot advance; the central-draw fallback must still be
+        byte-identical across n_jobs."""
+        center, groups, constraints, _ = workload
+        a = mallows_sample_and_score(
+            center, THETA, M, groups=groups, constraints=constraints,
+            seed=np.random.Generator(np.random.MT19937(7)), n_jobs=1,
+            return_orders=True,
+        )
+        b = mallows_sample_and_score(
+            center, THETA, M, groups=groups, constraints=constraints,
+            seed=np.random.Generator(np.random.MT19937(7)), n_jobs=2,
+            return_orders=True,
+        )
+        assert np.array_equal(a.orders, b.orders)
+        assert np.array_equal(a.infeasible_index, b.infeasible_index)
+
+    def test_optional_outputs(self, workload):
+        center, groups, constraints, scores = workload
+        bare = mallows_sample_and_score(center, THETA, 50, seed=1)
+        assert bare.infeasible_index is None and bare.ndcg is None
+        assert bare.orders is None
+        with pytest.raises(ValueError):
+            mallows_sample_and_score(center, THETA, 50, groups=groups, seed=1)
+        with pytest.raises(ValueError):
+            mallows_sample_and_score(
+                center, THETA, 50, constraints=constraints, seed=1
+            )
+
+    def test_small_batch_warns_once_and_runs_inline(self, workload):
+        import repro.batch.parallel as parallel
+
+        center, groups, constraints, _ = workload
+        parallel._small_batch_warned = False
+        with pytest.warns(RuntimeWarning, match="single-process"):
+            out = mallows_sample_and_score(
+                center, THETA, 50, groups=groups, constraints=constraints,
+                seed=3, n_jobs=4,
+            )
+        assert out.infeasible_index.shape == (50,)
+        # Identical to the plain single-process run, and warned only once.
+        ref = mallows_sample_and_score(
+            center, THETA, 50, groups=groups, constraints=constraints,
+            seed=3, n_jobs=1,
+        )
+        assert np.array_equal(out.infeasible_index, ref.infeasible_index)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            mallows_sample_and_score(
+                center, THETA, 50, groups=groups, constraints=constraints,
+                seed=4, n_jobs=4,
+            )
+
+    def test_empty_batch(self, workload):
+        center, groups, constraints, scores = workload
+        out = mallows_sample_and_score(
+            center, THETA, 0, groups=groups, constraints=constraints,
+            scores=scores, seed=0, n_jobs=2, return_orders=True,
+        )
+        assert out.orders.shape == (0, N)
+        assert out.infeasible_index.shape == (0,)
+        assert out.ndcg.shape == (0,)
+
+
+class TestExperimentEquivalence:
+    def test_fig1_output_independent_of_njobs(self):
+        base = dict(
+            target_iis=(0, 8), thetas=(0.5,), n_samples=300,
+            n_bootstrap=60, seed=11,
+        )
+        a = run_fig1(Fig1Config(**base, n_jobs=1))
+        b = run_fig1(Fig1Config(**base, n_jobs=2))
+        assert a.central_iis == b.central_iis
+        for ii in a.mean_sample_ii:
+            for theta in a.mean_sample_ii[ii]:
+                ra = a.mean_sample_ii[ii][theta]
+                rb = b.mean_sample_ii[ii][theta]
+                assert (ra.estimate, ra.low, ra.high) == (
+                    rb.estimate, rb.low, rb.high,
+                )
+
+    def test_fig34_output_independent_of_njobs(self):
+        base = dict(
+            deltas=(0.5,), thetas=(0.5,), n_trials=2,
+            samples_per_trial=300, n_bootstrap=60, seed=11,
+        )
+        a = run_fig34(Fig34Config(**base, n_jobs=1))
+        b = run_fig34(Fig34Config(**base, n_jobs=2))
+        assert a.central_ii == b.central_ii
+        assert a.to_text_fig3() == b.to_text_fig3()
+        assert a.to_text_fig4() == b.to_text_fig4()
+
+
+class TestCliWiring:
+    def test_jobs_flag_parses(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        assert parser.parse_args(["fig1", "--jobs", "4"]).jobs == 4
+        assert parser.parse_args(["fig3"]).jobs == 1
+        assert parser.parse_args(["all", "--fast", "--jobs", "-1"]).jobs == -1

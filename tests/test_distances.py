@@ -16,6 +16,7 @@ from repro.rankings.distances import (
     max_kendall_tau,
     spearman_distance,
     ulam_distance,
+    weighted_kendall_tau,
 )
 from repro.rankings.permutation import Ranking, all_rankings, identity
 
@@ -108,10 +109,45 @@ class TestKendallTauCoefficient:
         assert kendall_tau_coefficient(Ranking([0]), Ranking([0])) == 1.0
         assert kendall_tau_coefficient(Ranking([]), Ranking([])) == 1.0
 
+    def test_length_mismatch_raises_even_for_trivial_pi(self):
+        # Regression: the n < 2 early return used to skip the length check
+        # and silently report a perfect 1.0 for mismatched inputs.
+        with pytest.raises(LengthMismatchError):
+            kendall_tau_coefficient(Ranking([0]), Ranking([0, 1]))
+        with pytest.raises(LengthMismatchError):
+            kendall_tau_coefficient(Ranking([]), Ranking([0]))
+        with pytest.raises(LengthMismatchError):
+            kendall_tau_coefficient(Ranking([0, 1, 2]), Ranking([0, 1]))
+
     @given(perm6, perm6)
     def test_range(self, p, q):
         k = kendall_tau_coefficient(Ranking(np.array(p)), Ranking(np.array(q)))
         assert -1.0 <= k <= 1.0
+
+
+class TestLengthValidationAudit:
+    """Every distance function must validate lengths before any
+    degenerate-size early return."""
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            kendall_tau_distance,
+            kendall_tau_distance_naive,
+            kendall_tau_coefficient,
+            spearman_distance,
+            footrule_distance,
+            ulam_distance,
+            cayley_distance,
+            hamming_distance,
+            weighted_kendall_tau,
+        ],
+    )
+    def test_short_inputs_still_validated(self, fn):
+        with pytest.raises(LengthMismatchError):
+            fn(Ranking([0]), Ranking([0, 1]))
+        with pytest.raises(LengthMismatchError):
+            fn(Ranking([]), Ranking([0]))
 
 
 class TestSpearmanAndFootrule:

@@ -127,3 +127,27 @@ class TestMallowsExposure:
             seg, theta=40.0, groups=blocked_groups, m=50, seed=1
         )
         assert np.allclose(noisy, group_exposures(seg, blocked_groups))
+
+    @pytest.mark.parametrize("m", [0, -1, -100])
+    def test_rejects_nonpositive_sample_count(self, blocked_groups, m):
+        # Regression: m <= 0 used to return silently all-zero exposures.
+        seg = Ranking(np.arange(10))
+        with pytest.raises(ValueError):
+            expected_exposure_under_mallows(
+                seg, theta=0.5, groups=blocked_groups, m=m, seed=0
+            )
+
+    def test_matches_per_sample_scalar_loop(self, blocked_groups):
+        """The batched-kernel rewrite equals the original per-row loop."""
+        from repro.mallows.sampling import sample_mallows_batch
+
+        seg = Ranking(np.arange(10))
+        m = 40
+        got = expected_exposure_under_mallows(
+            seg, theta=0.5, groups=blocked_groups, m=m, seed=3, k=6
+        )
+        orders = sample_mallows_batch(seg, 0.5, m, seed=3)
+        totals = np.zeros(blocked_groups.n_groups)
+        for row in orders:
+            totals += group_exposures(Ranking(row), blocked_groups, k=6)
+        assert np.allclose(got, totals / m)
