@@ -150,6 +150,10 @@ def test_batch_engine_speedup(workload, fast_mode, report):
             f"batch path  : {batch_s * 1e3:9.1f} ms\n"
             f"speedup     : {speedup:9.1f}x (required >= {threshold:g}x)"
         ),
+        metrics={
+            "m": m, "n": N_ITEMS, "scalar_s": scalar_s, "batch_s": batch_s,
+            "speedup": speedup,
+        },
     )
     assert speedup >= threshold, (
         f"batch engine only {speedup:.1f}x faster than the scalar path "
@@ -188,6 +192,10 @@ def test_batch_kendall_speedup(workload, fast_mode, report):
             f"batch path  : {batch_s * 1e3:9.1f} ms\n"
             f"speedup     : {speedup:9.1f}x (required >= {threshold:g}x)"
         ),
+        metrics={
+            "m": m, "n": N_ITEMS, "scalar_s": scalar_s, "batch_s": batch_s,
+            "speedup": speedup,
+        },
     )
     assert speedup >= threshold
 
@@ -232,6 +240,10 @@ def test_batch_distance_kernels_speedup(workload, fast_mode, report):
             f"batch path  : {batch_s * 1e3:9.1f} ms\n"
             f"speedup     : {speedup:9.1f}x (required >= {threshold:g}x)"
         ),
+        metrics={
+            "m": m, "n": N_ITEMS, "scalar_s": scalar_s, "batch_s": batch_s,
+            "speedup": speedup,
+        },
     )
     assert speedup >= threshold
 
@@ -279,6 +291,10 @@ def test_parallel_pipeline_fanout(workload, fast_mode, report):
             f"speedup        : {speedup:9.2f}x\n"
             f"kernel cache   : {DEFAULT_CACHE.stats().summary()}"
         ),
+        metrics={
+            "m": m, "n": N_ITEMS, "n_jobs": n_jobs, "cores": cores,
+            "single_s": single_s, "fanout_s": fanout_s, "speedup": speedup,
+        },
     )
     if not fast_mode and cores >= 4:
         assert speedup >= 2.0, (

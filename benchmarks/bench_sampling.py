@@ -1,8 +1,26 @@
-"""Substrate micro-benchmarks: Mallows sampling throughput."""
+"""Substrate micro-benchmarks: Mallows sampling throughput and the
+chunked-vs-Fenwick decode race.
 
+``test_fenwick_decode_wins_at_large_n`` is the perf tripwire for the
+sub-quadratic RIM decode: at ``n = 2000`` the Fenwick order-statistic path
+must beat the ``O(m·n²)`` chunked decode (bit-identical outputs are asserted
+before any timing claim counts), while ``test_small_n_stays_on_chunked_path``
+pins the dispatcher to the existing decode at paper scale (``n <= 500``).
+"""
+
+import time
+
+import numpy as np
 import pytest
 
-from repro.mallows.sampling import sample_mallows_batch
+from repro.mallows.sampling import (
+    _displacement_draws,
+    _orders_from_displacements,
+    _use_fenwick_decode,
+    calibrate_decode_crossover,
+    decode_crossover,
+    sample_mallows_batch,
+)
 from repro.rankings.permutation import random_ranking
 
 
@@ -25,3 +43,88 @@ def test_rim_batch_10k_samples_n50(benchmark):
     center = random_ranking(50, seed=0)
     orders = benchmark(sample_mallows_batch, center, 0.5, 10_000, 0)
     assert orders.shape == (10_000, 50)
+
+
+def test_fenwick_decode_wins_at_large_n(fast_mode, report):
+    """At n = 2000 the O(m·n·log n) Fenwick decode must beat the O(m·n²)
+    chunked decode (the ``--fast`` smoke shrinks ``m``, where the Fenwick
+    per-call overhead amortizes less, and relaxes the threshold to a
+    no-regression check)."""
+    n = 2_000
+    m = 1_024 if fast_mode else 2_048
+    threshold = 1.0 if fast_mode else 1.2
+    rng = np.random.default_rng(0)
+    v = _displacement_draws(n, 0.5, m, rng)
+    center = random_ranking(n, seed=1).order
+
+    chunked_s = fenwick_s = np.inf
+    for _ in range(2 if fast_mode else 3):
+        t0 = time.perf_counter()
+        chunked = _orders_from_displacements(center, v, method="chunked")
+        chunked_s = min(chunked_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fenwick = _orders_from_displacements(center, v, method="fenwick")
+        fenwick_s = min(fenwick_s, time.perf_counter() - t0)
+
+    # The decodes must agree bit-for-bit before any speed claim counts, and
+    # the auto dispatcher must route this shape to the Fenwick path.
+    assert np.array_equal(chunked, fenwick)
+    assert _use_fenwick_decode(m, n)
+
+    speedup = chunked_s / fenwick_s
+    report(
+        "RIM decode — chunked vs Fenwick at large n",
+        (
+            f"m={m} samples, n={n} items, crossover n>={decode_crossover()}\n"
+            f"chunked decode : {chunked_s * 1e3:9.1f} ms\n"
+            f"Fenwick decode : {fenwick_s * 1e3:9.1f} ms\n"
+            f"speedup        : {speedup:9.2f}x (required >= {threshold:g}x)"
+        ),
+        metrics={
+            "m": m, "n": n, "chunked_s": chunked_s, "fenwick_s": fenwick_s,
+            "speedup": speedup, "crossover": decode_crossover(),
+        },
+    )
+    assert speedup >= threshold, (
+        f"Fenwick decode only {speedup:.2f}x vs the chunked decode at "
+        f"m={m}, n={n} (required >= {threshold:g}x)"
+    )
+
+
+def test_small_n_stays_on_chunked_path():
+    """Paper-scale batches (n <= 500) must keep dispatching to the existing
+    chunked decode, and the Fenwick path must match it bit-for-bit there."""
+    for n in (50, 500):
+        assert not _use_fenwick_decode(10_000, n)
+        rng = np.random.default_rng(3)
+        v = _displacement_draws(n, 0.5, 64, rng)
+        center = random_ranking(n, seed=4).order
+        auto = _orders_from_displacements(center, v)
+        assert np.array_equal(auto, _orders_from_displacements(center, v, method="chunked"))
+        assert np.array_equal(auto, _orders_from_displacements(center, v, method="fenwick"))
+
+
+def test_calibrated_crossover_is_sane(fast_mode, report):
+    """The on-host calibration must never route paper scale to Fenwick.
+
+    The full-mode grid deliberately includes a paper-scale point (n = 256,
+    where the chunked decode wins by ~3x on every machine measured): if a
+    calibration bug ever declared Fenwick the winner there, ``measured``
+    would come back 256 and the ``> 500`` assertion fails.  ``--fast``
+    drops the sub-500 point (smaller m makes its margin noisier) and
+    checks the return contract only.
+    """
+    if fast_mode:
+        grid, m = (512, 1024, 2048), 512
+    else:
+        grid, m = (256, 724, 1024, 1448, 2048), 1024
+    measured = calibrate_decode_crossover(n_grid=grid, m=m, apply=False)
+    report(
+        "RIM decode — calibrated crossover",
+        f"grid={grid}, measured crossover n>={measured} "
+        f"(live threshold n>={decode_crossover()})",
+        metrics={"measured_crossover": measured, "live_crossover": decode_crossover()},
+    )
+    assert measured in set(grid) | {max(grid) + 1}
+    if not fast_mode:
+        assert measured > 500

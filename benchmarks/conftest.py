@@ -1,15 +1,24 @@
 """Benchmark-suite plumbing.
 
-Two services for the per-figure benchmark files:
+Three services for the per-figure benchmark files:
 
 * session-scoped caches of expensive shared computations (the four German
   Credit panels feed Figs. 5, 6 and 7);
-* a ``report`` fixture collecting the rendered series of every artefact;
-  the collected reports are printed in the terminal summary, so they appear
-  in ``pytest benchmarks/ --benchmark-only`` output despite stdout capture.
+* a ``report`` fixture collecting the rendered series of every artefact —
+  and, optionally, machine-readable metrics — printed in the terminal
+  summary so they appear in ``pytest benchmarks/ --benchmark-only`` output
+  despite stdout capture;
+* ``--json PATH``: dump every collected metric (the ``report`` fixture's
+  ``metrics`` dicts plus the ``benchmark`` fixture's timing stats) as one
+  JSON document, so per-PR perf trajectories (``BENCH_*.json``) can be
+  recorded and diffed across commits.
 """
 
 from __future__ import annotations
+
+import json
+import platform
+import time
 
 import pytest
 
@@ -17,8 +26,8 @@ from repro.datasets.german_credit import synthesize_german_credit
 from repro.experiments.config import GermanCreditConfig
 from repro.experiments.german_credit_exp import run_german_credit
 
-#: (title, text) reports accumulated across the whole benchmark session.
-_REPORTS: list[tuple[str, str]] = []
+#: (title, text, metrics) reports accumulated across the benchmark session.
+_REPORTS: list[tuple[str, str, dict | None]] = []
 
 
 def pytest_addoption(parser):
@@ -27,12 +36,25 @@ def pytest_addoption(parser):
     Used by the CI perf-smoke job: the batch-engine benchmarks keep their
     speedup assertions (with a looser threshold) so a regression in the
     batched kernels fails the build instead of silently landing.
+
+    ``--json PATH``: write machine-readable timing results to ``PATH``.
     """
     parser.addoption(
         "--fast",
         action="store_true",
         default=False,
         help="run shrunken benchmark workloads with relaxed perf thresholds",
+    )
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help=(
+            "write collected benchmark metrics (report-fixture metrics + "
+            "pytest-benchmark stats) to PATH as JSON"
+        ),
     )
 
 
@@ -77,21 +99,73 @@ def german_panels(german_credit_data):
 
 @pytest.fixture
 def report():
-    """Collect a rendered artefact for the end-of-run summary."""
+    """Collect a rendered artefact for the end-of-run summary.
 
-    def _add(title: str, text: str) -> None:
-        _REPORTS.append((title, text))
+    The optional ``metrics`` mapping (plain JSON-serializable scalars, e.g.
+    ``{"speedup": 2.3, "n_jobs": 4}``) feeds the ``--json`` dump.
+    """
+
+    def _add(title: str, text: str, metrics: dict | None = None) -> None:
+        _REPORTS.append((title, text, metrics))
 
     return _add
 
 
+def _benchmark_fixture_records(config) -> list[dict]:
+    """Timing stats of every ``benchmark``-fixture run, as plain dicts.
+
+    Reads pytest-benchmark's session object defensively: under
+    ``--benchmark-disable`` (the CI smoke lane) fixtures record no stats,
+    and those entries are skipped rather than dumped as nulls.
+    """
+    session = getattr(config, "_benchmarksession", None)
+    records: list[dict] = []
+    for bench in getattr(session, "benchmarks", []) or []:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        record = {"name": getattr(bench, "fullname", getattr(bench, "name", "?"))}
+        for field in ("min", "max", "mean", "stddev", "median", "rounds"):
+            value = getattr(stats, field, None)
+            if value is not None:
+                record[field] = value
+        records.append(record)
+    return records
+
+
+def _write_json_results(config, path: str) -> None:
+    payload = {
+        "schema": "repro-bench/1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "fast": bool(config.getoption("--fast")),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "reports": [
+            {"title": title, "metrics": metrics}
+            for title, _text, metrics in _REPORTS
+            if metrics is not None
+        ],
+        "benchmarks": _benchmark_fixture_records(config),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def pytest_terminal_summary(terminalreporter):
-    """Print every collected figure/table series after the benchmark table."""
+    """Print every collected figure/table series after the benchmark table,
+    and honour ``--json`` with a machine-readable dump."""
+    tr = terminalreporter
+    json_path = tr.config.getoption("json_path", None)
+    if json_path:
+        _write_json_results(tr.config, json_path)
+        tr.write_line(f"benchmark metrics written to {json_path}")
     if not _REPORTS:
         return
-    tr = terminalreporter
     tr.write_sep("=", "reproduced paper artefacts")
-    for title, text in _REPORTS:
+    for title, text, _metrics in _REPORTS:
         tr.write_line("")
         tr.write_sep("-", title)
         for line in text.splitlines():

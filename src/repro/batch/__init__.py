@@ -16,9 +16,11 @@ This subpackage provides the batched building blocks for that workload:
 * :mod:`repro.batch.cache` — a process-wide LRU cache of per-constraint
   bound matrices and per-``(n, theta)`` Mallows position marginals, with
   hit/miss counters and explicit invalidation;
-* :mod:`repro.batch.parallel` — the ``n_jobs`` process-pool sharder that
-  splits an ``(m, n)`` sampling + scoring pipeline by row range across
-  workers, with per-worker RNG streams that keep every ``n_jobs`` value
+* :mod:`repro.batch.parallel` — the ``n_jobs`` process-pool fan-out in two
+  sharding modes: by *row range* over an ``(m, n)`` sampling + scoring
+  pipeline (Figs. 1/3/4) and by *trial* over arbitrary
+  ``(trial_index, rng)`` experiment loops (Fig. 2, German Credit), both
+  with per-shard RNG streams that keep every ``n_jobs`` value
   byte-identical under a fixed seed.
 
 The scalar APIs in :mod:`repro.rankings.distances`,
@@ -54,6 +56,7 @@ from repro.batch.parallel import (
     MallowsBatchScores,
     mallows_sample_and_score,
     resolve_n_jobs,
+    run_trials,
     shard_row_ranges,
     shutdown_workers,
 )
@@ -85,6 +88,7 @@ __all__ = [
     "kendall_tau_matrix",
     "mallows_sample_and_score",
     "resolve_n_jobs",
+    "run_trials",
     "shard_row_ranges",
     "shutdown_workers",
 ]

@@ -1,20 +1,17 @@
-"""Multi-core fan-out of the Mallows sampling + scoring pipeline.
+"""Multi-core fan-out of the experiment hot loops, in two sharding modes.
 
-The Monte-Carlo experiments all run the same inner pipeline: draw an
+Mode 1 — row-range sharding (:func:`mallows_sample_and_score`)
+--------------------------------------------------------------
+The large-batch experiments (Figs. 1, 3, 4) run one inner pipeline: draw an
 ``(m, n)`` batch of Mallows samples, then score every row with the batched
-kernels.  Rows are mutually independent, so the batch can be sharded by row
-range across worker processes.  This module provides that sharder plus the
-seeding scheme that makes it *deterministically equivalent* to the
-single-process path.
-
-Determinism
------------
-The sampler consumes exactly one uniform double per ``(row, item)`` cell,
-row-major, from the caller's generator.  Each shard's worker therefore gets
-a clone of the caller's bit generator advanced to its first row's stream
-offset (``lo * n`` draws) — PCG64's ``advance`` makes this O(1) — and the
-parent generator is advanced past all ``m * n`` draws afterwards.  The
-upshot, pinned by the equivalence tests:
+kernels.  Rows are mutually independent, so the batch is sharded by
+contiguous row range across worker processes.  The sampler consumes exactly
+one uniform double per ``(row, item)`` cell, row-major, from the caller's
+generator, so each shard's worker gets a clone of the caller's bit
+generator advanced to its first row's stream offset (``lo * n`` draws) —
+PCG64's ``advance`` makes this O(1) — and the parent generator is advanced
+past all ``m * n`` draws afterwards.  The upshot, pinned by the
+equivalence tests:
 
 * any ``n_jobs`` (including 1) produces **byte-identical** samples and
   scores under a fixed seed;
@@ -26,10 +23,24 @@ Bit generators without ``advance`` (e.g. MT19937) fall back to drawing the
 displacement matrix in the parent and shipping row slices to the workers —
 same outputs, slightly less parallel.
 
-Worker processes are pooled per ``n_jobs`` and reused across pipeline calls
-(the experiments call the pipeline in tight loops); :func:`shutdown_workers`
-tears the pools down explicitly, and an ``atexit`` hook does so at
-interpreter exit.
+Mode 2 — trial sharding (:func:`run_trials`)
+--------------------------------------------
+The remaining experiments (the German Credit panels of Figs. 5–7, Fig. 2)
+iterate a *heterogeneous* trial — subsample, solve, score — whose batches
+are far too small for row sharding; they parallelize at the
+``(trial_index,)`` granularity instead.  :func:`run_trials` derives one
+:class:`~numpy.random.SeedSequence` child per trial from the caller's seed
+(``spawn_seed_sequences`` style), so trial ``t`` sees the same stream no
+matter which worker — or the serial loop — executes it.  Results are
+returned in trial order, making the output **byte-identical to the serial
+loop for every** ``n_jobs``.  Fan-out requests with fewer trials than
+workers run inline after a one-time :class:`RuntimeWarning` (the fork
+dispatch would cost more than it buys).
+
+Both modes share the same per-``n_jobs`` pooled ``ProcessPoolExecutor``\\ s,
+reused across pipeline calls (the experiments call them in tight loops);
+:func:`shutdown_workers` tears the pools down explicitly, and an ``atexit``
+hook does so at interpreter exit.
 """
 
 from __future__ import annotations
@@ -39,12 +50,12 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
 from repro.rankings.permutation import Ranking
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences
 
 if TYPE_CHECKING:  # lazy at runtime: repro.mallows.sampling imports repro.batch
     from repro.fairness.constraints import FairnessConstraints
@@ -73,6 +84,24 @@ def _warn_small_batch(m: int, n_jobs: int) -> None:
         RuntimeWarning,
         stacklevel=3,
     )
+
+_small_trials_warned = False
+
+
+def _warn_small_trials(n_trials: int, n_jobs: int) -> None:
+    global _small_trials_warned
+    if _small_trials_warned:
+        return
+    _small_trials_warned = True
+    warnings.warn(
+        f"n_jobs={n_jobs} requested but the loop has only {n_trials} "
+        "trial(s), so it runs inline: dispatching fewer trials than workers "
+        "pays the fork/pickle overhead for nothing.  Output is identical "
+        "either way.  This warning is shown once per process.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
 
 #: Live executors keyed by worker count, reused across pipeline calls.
 _EXECUTORS: dict[int, ProcessPoolExecutor] = {}
@@ -328,3 +357,94 @@ def mallows_sample_and_score(
         ndcg=_concat([r[1] for r in results]),
         orders=_concat([r[2] for r in results]),
     )
+
+
+@dataclass(frozen=True)
+class _TrialShard:
+    """One worker's slice of a trial loop: contiguous trial indices plus the
+    per-trial seed sequences and the shared payload."""
+
+    trial_fn: Callable[..., Any]
+    first_trial: int
+    seeds: tuple[np.random.SeedSequence, ...]
+    payload: tuple[Any, ...]
+
+
+def _run_trial_shard(task: _TrialShard) -> list[Any]:
+    """Worker entry point: run the shard's trials in index order."""
+    return [
+        task.trial_fn(task.first_trial + i, np.random.default_rng(seq), *task.payload)
+        for i, seq in enumerate(task.seeds)
+    ]
+
+
+def run_trials(
+    trial_fn: Callable[..., Any],
+    n_trials: int,
+    *,
+    seed: SeedLike = None,
+    n_jobs: int = 1,
+    payload: tuple[Any, ...] = (),
+) -> list[Any]:
+    """Run ``trial_fn(trial_index, rng, *payload)`` for every trial, fanned
+    out across ``n_jobs`` worker processes, returning results in trial order.
+
+    This is the trial-granular twin of :func:`mallows_sample_and_score`: it
+    parallelizes experiment loops whose unit of work is one *repeat* (a
+    subsample + solver run, say) rather than one batch row.  Each trial gets
+    its own child :class:`~numpy.random.SeedSequence` derived from ``seed``,
+    so trial ``t``'s stream is a function of ``(seed, t)`` only and the
+    results are **byte-identical to the serial loop for every** ``n_jobs``.
+
+    Parameters
+    ----------
+    trial_fn:
+        Module-level callable (it is pickled to the workers) invoked as
+        ``trial_fn(trial_index, rng, *payload)``.  Its return value must be
+        picklable.
+    n_trials:
+        Number of trials to run.
+    seed:
+        Any :data:`~repro.utils.rng.SeedLike`; a passed-in generator is
+        consumed exactly as :func:`~repro.utils.rng.spawn_generators` would
+        consume it (one 63-bit draw).
+    n_jobs:
+        Worker processes (``-1`` = all cores).  When ``n_trials < n_jobs``
+        the loop runs inline after a one-time :class:`RuntimeWarning` —
+        forking workers for fewer trials than workers costs more than it
+        buys.  Output is identical for every value.
+    payload:
+        Extra positional arguments shipped to every trial (pickled once per
+        shard, not once per trial).
+    """
+    if n_trials < 0:
+        raise ValueError(f"trial count must be non-negative, got {n_trials}")
+    n_jobs = resolve_n_jobs(n_jobs)
+    seqs = spawn_seed_sequences(seed, n_trials)
+    if n_trials == 0:
+        return []
+    if n_jobs == 1 or n_trials < n_jobs:
+        if n_jobs > 1:
+            _warn_small_trials(n_trials, n_jobs)
+        return [
+            trial_fn(t, np.random.default_rng(seqs[t]), *payload)
+            for t in range(n_trials)
+        ]
+
+    tasks = [
+        _TrialShard(
+            trial_fn=trial_fn,
+            first_trial=lo,
+            seeds=tuple(seqs[lo:hi]),
+            payload=payload,
+        )
+        for lo, hi in shard_row_ranges(n_trials, n_jobs)
+    ]
+    executor = _get_executor(n_jobs)
+    try:
+        shard_results = list(executor.map(_run_trial_shard, tasks))
+    except BrokenProcessPool:
+        _EXECUTORS.pop(n_jobs, None)
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    return [result for shard in shard_results for result in shard]

@@ -6,11 +6,13 @@ Examples
 
     repro-fair-ranking fig1
     repro-fair-ranking fig1 --jobs 4
-    repro-fair-ranking fig5 --theta 1 --sigma 1
+    repro-fair-ranking fig5 --theta 1 --sigma 1 --jobs 4
     repro-fair-ranking all --fast --jobs -1
 
-``--jobs`` fans the Mallows sampling+scoring pipelines out across worker
-processes (``-1`` = all cores); reports are byte-identical for every value.
+``--jobs`` fans the experiments out across worker processes (``-1`` = all
+cores) — by batch row for the Mallows sampling+scoring pipelines
+(Figs. 1/3/4) and by trial for Fig. 2 and the German Credit panels
+(Figs. 5/6/7); reports are byte-identical for every value.
 """
 
 from __future__ import annotations
@@ -49,16 +51,17 @@ def _build_parser() -> argparse.ArgumentParser:
             default=1,
             metavar="N",
             help=(
-                "worker processes for the Mallows sampling+scoring pipeline "
-                "(-1 = all cores); output is byte-identical for every value. "
-                "Pays off for large sample counts (hundreds of rows per "
-                "pipeline call); smaller batches run single-process and "
-                "warn once"
+                "worker processes (-1 = all cores); output is byte-identical "
+                "for every value.  Figs. 1/3/4 shard the sampling+scoring "
+                "batch by row (pays off at hundreds of rows per call); "
+                "Fig. 2 and the German Credit panels shard by trial.  "
+                "Workloads too small to amortize the pool run single-process "
+                "and warn once"
             ),
         )
 
     _add_jobs_flag(sub.add_parser("fig1", help="Fig.1: Mallows noise vs Infeasible Index"))
-    sub.add_parser("fig2", help="Fig.2: central-ranking II vs delta")
+    _add_jobs_flag(sub.add_parser("fig2", help="Fig.2: central-ranking II vs delta"))
     _add_jobs_flag(sub.add_parser("fig3", help="Fig.3: sample II vs theta, per delta"))
     _add_jobs_flag(sub.add_parser("fig4", help="Fig.4: sample NDCG vs theta, per delta"))
     sub.add_parser("table1", help="Table I: German Credit group distribution")
@@ -77,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="solve the ILP with HiGHS instead of the exact DP",
         )
+        _add_jobs_flag(p)
 
     p_all = sub.add_parser("all", help="run every artefact")
     p_all.add_argument(
@@ -99,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "fig1":
         print(run_fig1(Fig1Config(n_jobs=args.jobs)).to_text())
     elif args.command == "fig2":
-        print(run_fig2(Fig2Config()).to_text())
+        print(run_fig2(Fig2Config(n_jobs=args.jobs)).to_text())
     elif args.command == "fig3":
         print(run_fig34(Fig34Config(n_jobs=args.jobs)).to_text_fig3())
     elif args.command == "fig4":
@@ -112,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
             noise_sigma=args.sigma,
             n_repeats=args.repeats,
             use_milp=args.milp,
+            n_jobs=args.jobs,
         )
         result = run_german_credit(config)
         text = {

@@ -11,12 +11,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.batch import batch_infeasible_index
+from repro.batch import batch_infeasible_index, run_trials
 from repro.datasets.synthetic import two_group_shifted_scores
 from repro.experiments.config import Fig2Config
 from repro.fairness.constraints import FairnessConstraints
+from repro.groups.attributes import GroupAssignment
 from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import spawn_seed_sequences
 from repro.utils.tables import format_series
 
 
@@ -42,31 +43,52 @@ class Fig2Result:
         )
 
 
+def _central_ranking_trial(
+    trial_index: int,
+    rng: np.random.Generator,
+    delta: float,
+    group_size: int,
+) -> np.ndarray:
+    """Trial-pool unit: one score draw's central-ranking order view."""
+    del trial_index  # the trial's stream comes entirely from ``rng``
+    return two_group_shifted_scores(delta, group_size=group_size, seed=rng).ranking.order
+
+
 def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
-    """Run the Figure 2 experiment under ``config``."""
+    """Run the Figure 2 experiment under ``config``.
+
+    The ``(delta, trial)`` loop fans out across ``config.n_jobs`` worker
+    processes at the trial granularity via :func:`repro.batch.run_trials`;
+    per-trial seed children keep the result byte-identical for every
+    ``n_jobs`` value under a fixed seed.
+    """
     if config.n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {config.n_trials}")
-    rngs = spawn_generators(config.seed, len(config.deltas))
+    delta_seqs = spawn_seed_sequences(config.seed, len(config.deltas))
+    # The group structure is the same for every draw (two fixed index
+    # blocks, as two_group_shifted_scores lays them out), so it is built
+    # once and the per-trial central rankings are stacked and scored with
+    # one batched Infeasible-Index kernel call per delta.
+    groups = GroupAssignment.from_indices(
+        np.repeat(np.arange(2, dtype=np.int64), config.group_size)
+    )
+    constraints = FairnessConstraints.proportional(groups)
     central_ii: dict[float, BootstrapResult] = {}
-    for delta, rng in zip(config.deltas, rngs):
-        # The group structure is the same for every trial (two fixed blocks),
-        # so the per-trial central rankings can be stacked and scored with
-        # one batched Infeasible-Index kernel call.
-        trial_orders = np.empty(
-            (config.n_trials, 2 * config.group_size), dtype=np.int64
-        )
-        groups = None
-        for t in range(config.n_trials):
-            sample = two_group_shifted_scores(
-                delta, group_size=config.group_size, seed=rng
+    for delta, delta_seq in zip(config.deltas, delta_seqs):
+        trial_seq, bootstrap_seq = delta_seq.spawn(2)
+        trial_orders = np.stack(
+            run_trials(
+                _central_ranking_trial,
+                config.n_trials,
+                seed=trial_seq,
+                n_jobs=config.n_jobs,
+                payload=(delta, config.group_size),
             )
-            trial_orders[t] = sample.ranking.order
-            groups = sample.groups
-        constraints = FairnessConstraints.proportional(groups)
+        )
         iis = batch_infeasible_index(trial_orders, groups, constraints).astype(
             np.float64
         )
         central_ii[delta] = bootstrap_ci(
-            iis, n_resamples=config.n_bootstrap, seed=rng
+            iis, n_resamples=config.n_bootstrap, seed=np.random.default_rng(bootstrap_seq)
         )
     return Fig2Result(config=config, central_ii=central_ii)

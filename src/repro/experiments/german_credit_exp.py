@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.algorithms.base import FairRankingProblem
 from repro.algorithms.detconstsort import DetConstSort
-from repro.batch import BatchRankings, batch_ndcg, batch_percent_fair
+from repro.batch import BatchRankings, batch_ndcg, batch_percent_fair, run_trials
 from repro.algorithms.dp import DpFairRanking
 from repro.algorithms.ilp import IlpFairRanking
 from repro.algorithms.ipf import ApproxMultiValuedIPF
@@ -41,7 +41,7 @@ from repro.experiments.config import GermanCreditConfig
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.construction import weakly_fair_ranking
 from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import spawn_seed_sequences
 from repro.utils.tables import format_series, format_table
 
 #: Algorithm display order in the reported series.
@@ -141,22 +141,36 @@ def run_german_credit(
     config: GermanCreditConfig = GermanCreditConfig(),
     data: GermanCreditData | None = None,
 ) -> GermanCreditResult:
-    """Run one (θ, σ) panel of the Section V-C comparison."""
+    """Run one (θ, σ) panel of the Section V-C comparison.
+
+    The ``(size, repeat)`` double loop fans out across
+    ``config.n_jobs`` worker processes at the *repeat* granularity via
+    :func:`repro.batch.run_trials`: every repeat draws its stream from its
+    own seed child, so the panel is byte-identical for every ``n_jobs``
+    value under a fixed seed.
+    """
     if data is None:
         data = load_german_credit(seed=config.seed)
-    rngs = spawn_generators(config.seed, len(config.sizes))
+    size_seqs = spawn_seed_sequences(config.seed, len(config.sizes))
 
     ppfair_known: dict[str, dict[int, BootstrapResult]] = {a: {} for a in ALGORITHMS}
     ppfair_unknown: dict[str, dict[int, BootstrapResult]] = {a: {} for a in ALGORITHMS}
     ndcg_out: dict[str, dict[int, BootstrapResult]] = {a: {} for a in ALGORITHMS}
 
-    for size, rng in zip(config.sizes, rngs):
+    for size, size_seq in zip(config.sizes, size_seqs):
+        repeat_seq, bootstrap_seq = size_seq.spawn(2)
+        outcomes = run_trials(
+            _repeat_trial,
+            config.n_repeats,
+            seed=repeat_seq,
+            n_jobs=config.n_jobs,
+            payload=(data, size, config),
+        )
+
         per_alg_known: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
         per_alg_unknown: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
         per_alg_ndcg: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
-
-        for _ in range(config.n_repeats):
-            outcome = _one_repeat(data, size, config, rng)
+        for outcome in outcomes:
             if outcome is None:
                 continue
             for alg, (pk, pu, nd) in outcome.items():
@@ -164,6 +178,7 @@ def run_german_credit(
                 per_alg_unknown[alg].append(pu)
                 per_alg_ndcg[alg].append(nd)
 
+        bootstrap_rng = np.random.default_rng(bootstrap_seq)
         for alg in ALGORITHMS:
             if not per_alg_known[alg]:
                 continue
@@ -171,18 +186,18 @@ def run_german_credit(
                 np.array(per_alg_known[alg]),
                 statistic=np.median,
                 n_resamples=config.n_bootstrap,
-                seed=rng,
+                seed=bootstrap_rng,
             )
             ppfair_unknown[alg][size] = bootstrap_ci(
                 np.array(per_alg_unknown[alg]),
                 statistic=np.median,
                 n_resamples=config.n_bootstrap,
-                seed=rng,
+                seed=bootstrap_rng,
             )
             ndcg_out[alg][size] = bootstrap_ci(
                 np.array(per_alg_ndcg[alg]),
                 n_resamples=config.n_bootstrap,
-                seed=rng,
+                seed=bootstrap_rng,
             )
 
     return GermanCreditResult(
@@ -192,6 +207,18 @@ def run_german_credit(
         ppfair_unknown=ppfair_unknown,
         ndcg=ndcg_out,
     )
+
+
+def _repeat_trial(
+    trial_index: int,
+    rng: np.random.Generator,
+    data: GermanCreditData,
+    size: int,
+    config: GermanCreditConfig,
+) -> dict[str, tuple[float, float, float]] | None:
+    """Trial-pool adapter: one repeat of one panel size (pickled to workers)."""
+    del trial_index  # the repeat's stream comes entirely from ``rng``
+    return _one_repeat(data, size, config, rng)
 
 
 def _one_repeat(

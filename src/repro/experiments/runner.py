@@ -44,9 +44,10 @@ def run_all(
     progress:
         Optional callback receiving a line per completed artefact.
     n_jobs:
-        Worker processes for the Mallows sampling+scoring pipelines
-        (Figs. 1, 3, 4); ``-1`` uses every core.  Reports are byte-identical
-        for every value.
+        Worker processes, applied to every parallelizable experiment:
+        row-sharded Mallows sampling+scoring for Figs. 1, 3, 4 and
+        trial-sharded fan-out for Fig. 2 and the German Credit panels;
+        ``-1`` uses every core.  Reports are byte-identical for every value.
     """
     say = progress or (lambda _msg: None)
     reports: dict[str, str] = {}
@@ -60,7 +61,11 @@ def run_all(
     reports["fig1"] = result1.to_text()
     say("fig1 done")
 
-    fig2_cfg = Fig2Config(n_trials=50, n_bootstrap=200) if fast else Fig2Config()
+    fig2_cfg = (
+        Fig2Config(n_trials=50, n_bootstrap=200, n_jobs=n_jobs)
+        if fast
+        else Fig2Config(n_jobs=n_jobs)
+    )
     result2 = run_fig2(fig2_cfg)
     reports["fig2"] = result2.to_text()
     say("fig2 done")
@@ -79,7 +84,7 @@ def run_all(
     say("table1 done")
 
     for theta, sigma in PANELS:
-        cfg = GermanCreditConfig(theta=theta, noise_sigma=sigma)
+        cfg = GermanCreditConfig(theta=theta, noise_sigma=sigma, n_jobs=n_jobs)
         if fast:
             cfg = GermanCreditConfig(
                 theta=theta,
@@ -87,6 +92,7 @@ def run_all(
                 sizes=(10, 30, 50),
                 n_repeats=5,
                 n_bootstrap=200,
+                n_jobs=n_jobs,
             )
         panel = run_german_credit(cfg)
         key = f"theta{theta:g}_sigma{sigma:g}"

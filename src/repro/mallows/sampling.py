@@ -8,18 +8,46 @@ new discordant pairs, so drawing ``v`` from the truncated geometric
 Mallows-distributed.  All the ``v`` draws are independent, which lets us
 vectorize them across a whole batch with one inverse-CDF transform.
 
-Sample materialization is vectorized over the whole batch: instead of
-replaying the insertions with per-sample Python list surgery, the final
-position of every item is accumulated column-by-column over the ``(m, n)``
-displacement matrix and the orders are scattered out in one shot (see
-:func:`_orders_from_displacements`).  The decode is bit-for-bit identical to
-the sequential insertion loop, which the test suite keeps as a private
-reference implementation.
+Sample materialization is vectorized over the whole batch and dispatched
+between two bit-identical decodes:
+
+* the **chunked decode** (:func:`_decode_chunk`) accumulates the final
+  position of every item column-by-column over the ``(m, n)`` displacement
+  matrix — ``O(n)`` NumPy calls but ``O(m·n²)`` elementwise work;
+* the **Fenwick decode** (:func:`_decode_chunk_fenwick`) replays the
+  insertions in reverse with a batch of Fenwick (binary-indexed) trees: the
+  item inserted at step ``j`` lands in the ``(j − v_j + 1)``-th still-empty
+  slot of the final order, an order-statistic select that the tree answers
+  in ``O(log n)`` — ``O(m·n·log n)`` work overall.
+
+Both decodes replay the same insertion process exactly (integer arithmetic
+only), so their outputs are bit-for-bit identical to each other and to the
+sequential insertion loop the test suite keeps as a private reference.  The
+dispatcher picks by batch shape; measured wall-clock on the development
+machine (``theta = 0.5``, ``m = 2048``):
+
+======  ==============  ==============
+``n``   chunked decode  Fenwick decode
+======  ==============  ==============
+   500       199 ms         358 ms
+  1000       397 ms         390 ms
+  1408       771 ms         629 ms
+  2000      1296 ms         880 ms
+  4000     ~4800 ms       ~2600 ms
+======  ==============  ==============
+
+The constant factors favour the chunked decode up to ``n ≈ 1000`` (and for
+small batches, where the Fenwick per-call overhead cannot amortize), so the
+default crossover is conservative: Fenwick runs only when
+``n >= 1024 and m >= 512``.  :func:`calibrate_decode_crossover` re-measures
+the crossover on the host and adjusts the threshold; because the two paths
+agree bit-for-bit, the dispatch point never affects results.
 """
 
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -30,6 +58,22 @@ from repro.utils.rng import SeedLike, as_generator
 #: Samples decoded per chunk: keeps the ``(n, chunk)`` position block and its
 #: comparison buffer resident in cache, which is worth ~2x at large ``m``.
 _DECODE_CHUNK = 8192
+
+#: Default ``n`` at or above which the Fenwick decode takes over (see the
+#: crossover table in the module docstring).  ``n <= 500`` is always safely
+#: below it, keeping the paper-scale workloads on the chunked path.
+DEFAULT_DECODE_CROSSOVER = 1024
+
+#: Minimum batch rows for the Fenwick decode: below this the per-call NumPy
+#: overhead of the ``O(log n)`` descent dominates and the chunked decode
+#: wins even at large ``n``.
+FENWICK_MIN_ROWS = 512
+
+#: Byte budget for one chunk of Fenwick trees; bounds the working set so the
+#: trees stay cache-resident (an int16 tree row is ``2 * (N + 1)`` bytes).
+_FENWICK_CHUNK_BYTES = 1 << 23
+
+_decode_crossover = DEFAULT_DECODE_CROSSOVER
 
 
 def _displacement_draws(n: int, theta: float, m: int, rng: np.random.Generator) -> np.ndarray:
@@ -80,24 +124,182 @@ def _decode_chunk(
     )
 
 
-def _orders_from_displacements(center_order: np.ndarray, v: np.ndarray) -> np.ndarray:
+def _fenwick_tree_row(n: int, size: int) -> np.ndarray:
+    """The Fenwick tree of an all-ones occupancy array over ``n`` slots,
+    padded to ``size`` (a power of two): entry ``i`` (1-indexed) covers the
+    slot range ``(i − lowbit(i), i]``, so its count has the closed form
+    ``clip(min(i, n) − (i − lowbit(i)), 0, lowbit(i))``."""
+    idx = np.arange(1, size + 1, dtype=np.int64)
+    lowbit = idx & -idx
+    counts = np.clip(np.minimum(idx, n) - (idx - lowbit), 0, lowbit)
+    # Counts reach n at the root; int16 keeps the trees cache-resident for
+    # every realistic n, with an int32 escape hatch above its range.
+    dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int32
+    return counts.astype(dtype)
+
+
+def _decode_chunk_fenwick(
+    center_order: np.ndarray, vT: np.ndarray, out: np.ndarray
+) -> None:
+    """Decode one chunk of transposed displacements ``vT`` of ``shape (n, c)``
+    into the order rows ``out`` of ``shape (c, n)`` in ``O(n log n)`` per
+    sample.
+
+    Replays the insertions in reverse: once the items inserted after step
+    ``j`` occupy their final slots, item ``j`` — which sits at index
+    ``p = j − v[j]`` among the first ``j + 1`` items — occupies the
+    ``(p + 1)``-th still-empty slot.  Each sample's slot occupancy lives in
+    a Fenwick tree (all trees advance in lockstep, one level per NumPy
+    call): a top-down descent selects the ``(p + 1)``-th empty slot and a
+    point update marks it taken.  The update walks ``base + s`` with
+    ``s → s + lowbit(s)`` for a fixed ``log2(N) + 1`` steps; once a
+    sample's path leaves the tree its writes are clipped onto a scrap
+    column that no descent ever reads, which keeps the loop branch-free.
+    """
+    n, c = vT.shape
+    size = 1 << max(0, (n - 1).bit_length())  # power of two >= n
+    levels = size.bit_length() - 1
+    row_w = size + 1  # + 1 scrap column absorbing out-of-tree update writes
+    tree_row = _fenwick_tree_row(n, size)
+    tree = np.empty((c, row_w), dtype=tree_row.dtype)
+    tree[:, :size] = tree_row
+    flat = tree.ravel()
+    base = np.arange(c, dtype=np.int64) * row_w
+    pos = np.empty((n, c), dtype=np.int64)
+    k = np.empty(c, dtype=np.int64)
+    for j in range(n - 1, -1, -1):
+        # Rank of item j's final slot among the still-empty slots, 1-indexed.
+        np.subtract(j + 1, vT[j], out=k, casting="unsafe")
+        bp = base.copy()
+        step = size >> 1
+        while step:
+            counts = flat.take(bp + (step - 1))
+            descend = counts < k
+            k -= counts * descend
+            bp += step * descend
+            step >>= 1
+        slot = bp - base
+        pos[j] = slot
+        if j == 0:
+            break
+        s = slot + 1
+        for _ in range(levels + 1):
+            flat[base + np.minimum(s, row_w) - 1] -= 1
+            s += s & -s
+    np.put_along_axis(
+        out, pos.T, np.broadcast_to(center_order, (c, n)), axis=1
+    )
+
+
+def _use_fenwick_decode(m: int, n: int) -> bool:
+    """Shape-based dispatch between the two bit-identical decodes."""
+    return n >= _decode_crossover and m >= FENWICK_MIN_ROWS
+
+
+def decode_crossover() -> int:
+    """The ``n`` at or above which batches decode via the Fenwick path."""
+    return _decode_crossover
+
+
+def set_decode_crossover(n: int | None) -> None:
+    """Override the Fenwick dispatch threshold (``None`` restores the
+    default).  Outputs are bit-identical on either side of the threshold,
+    so this only ever changes speed."""
+    global _decode_crossover
+    if n is None:
+        _decode_crossover = DEFAULT_DECODE_CROSSOVER
+        return
+    if n < 1:
+        raise ValueError(f"decode crossover must be >= 1, got {n}")
+    _decode_crossover = int(n)
+
+
+def calibrate_decode_crossover(
+    n_grid: tuple[int, ...] = (512, 724, 1024, 1448, 2048),
+    m: int = 1024,
+    theta: float = 0.5,
+    apply: bool = True,
+) -> int:
+    """Measure the chunked/Fenwick crossover on this machine.
+
+    Times both decodes on the same displacement draws for each ``n`` in
+    ``n_grid`` (ascending) and returns the smallest ``n`` from which the
+    Fenwick decode stays ahead — or ``n_grid[-1] + 1`` when it never wins,
+    which keeps every grid point on the chunked path.  With ``apply=True``
+    (the default) the measured value becomes the live dispatch threshold.
+
+    Calibration affects *speed only*: the decodes agree bit-for-bit, so
+    results stay reproducible whatever this measures.
+    """
+    if m < 1:
+        raise ValueError(f"calibration batch must have >= 1 rows, got {m}")
+    if not n_grid or any(n < 1 for n in n_grid):
+        raise ValueError(f"calibration grid must be positive, got {n_grid!r}")
+    rng = np.random.default_rng(0)
+    crossover = None
+    for n in sorted(n_grid):
+        v = _displacement_draws(n, theta, m, rng)
+        center = np.arange(n, dtype=np.int64)
+        timings = []
+        for fn in (_decode_chunk, _decode_chunk_fenwick):
+            out = np.empty((m, n), dtype=np.int64)
+            vT = np.ascontiguousarray(v.T)
+            start = time.perf_counter()
+            if fn is _decode_chunk:
+                dtype = (
+                    np.dtype(np.int16)
+                    if n <= np.iinfo(np.int16).max
+                    else np.dtype(np.int64)
+                )
+                fn(center, vT, out, dtype)
+            else:
+                fn(center, vT, out)
+            timings.append(time.perf_counter() - start)
+        if timings[1] < timings[0]:
+            if crossover is None:
+                crossover = n
+        else:
+            crossover = None  # must win from the crossover onwards
+    result = crossover if crossover is not None else max(n_grid) + 1
+    if apply:
+        set_decode_crossover(result)
+    return result
+
+
+def _orders_from_displacements(
+    center_order: np.ndarray, v: np.ndarray, method: str = "auto"
+) -> np.ndarray:
     """Materialize sample orders from displacement draws, fully vectorized.
 
     For each sample, item ``center_order[j]`` is inserted at list index
-    ``j − v[j]`` (i.e. ``v[j]`` slots before the current end).  The whole
-    ``(m, n)`` displacement matrix is decoded with ``O(n)`` NumPy calls
-    (``O(m·n²)`` elementwise work in a cache-sized dtype) instead of ``m·n``
-    Python-level list insertions; results are bit-for-bit identical to the
-    sequential insertion loop.
+    ``j − v[j]`` (i.e. ``v[j]`` slots before the current end).  Small-``n``
+    batches decode with the chunked position accumulator (``O(n)`` NumPy
+    calls, ``O(m·n²)`` elementwise work in a cache-sized dtype); past the
+    measured crossover (see the module docstring) large-``n`` batches use
+    the Fenwick order-statistic decode (``O(m·n·log n)``).  Both are
+    bit-for-bit identical to the sequential insertion loop; ``method``
+    (``"auto"``/``"chunked"``/``"fenwick"``) forces a path for tests and
+    benchmarks.
     """
+    if method not in ("auto", "chunked", "fenwick"):
+        raise ValueError(f"unknown decode method {method!r}")
     m, n = v.shape
     out = np.empty((m, n), dtype=np.int64)
     if m == 0 or n == 0:
         return out
+    vT = np.ascontiguousarray(v.T)
+    if method == "fenwick" or (method == "auto" and _use_fenwick_decode(m, n)):
+        size = 1 << max(0, (n - 1).bit_length())
+        chunk = max(32, _FENWICK_CHUNK_BYTES // (2 * (size + 1)))
+        for lo in range(0, m, chunk):
+            hi = min(lo + chunk, m)
+            _decode_chunk_fenwick(
+                center_order, np.ascontiguousarray(vT[:, lo:hi]), out[lo:hi]
+            )
+        return out
     # Positions fit the smallest dtype that can hold 0..n-1; smaller elements
     # mean proportionally less memory traffic in the decode loop.
     dtype = np.dtype(np.int16) if n <= np.iinfo(np.int16).max else np.dtype(np.int64)
-    vT = np.ascontiguousarray(v.T)
     for lo in range(0, m, _DECODE_CHUNK):
         hi = min(lo + _DECODE_CHUNK, m)
         _decode_chunk(center_order, np.ascontiguousarray(vT[:, lo:hi]), out[lo:hi], dtype)

@@ -1,6 +1,6 @@
 """Shared utilities: RNG coercion, validation, bootstrap CIs, ASCII tables."""
 
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import as_generator, spawn_generators, spawn_seed_sequences
 from repro.utils.validation import (
     as_permutation_array,
     check_same_length,
@@ -12,6 +12,7 @@ from repro.utils.tables import format_series, format_table
 __all__ = [
     "as_generator",
     "spawn_generators",
+    "spawn_seed_sequences",
     "as_permutation_array",
     "check_same_length",
     "is_permutation",

@@ -31,12 +31,15 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
-    """Create ``n`` statistically independent child generators.
+def spawn_seed_sequences(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Create ``n`` statistically independent child :class:`SeedSequence`\\ s.
 
-    Used by experiment runners that repeat a trial many times: each repeat
-    gets its own stream, so the repeats are independent yet the whole
-    experiment is reproducible from one seed.
+    The light-weight sibling of :func:`spawn_generators`: a ``SeedSequence``
+    is cheap to pickle, so trial-parallel runners ship one per trial to the
+    worker processes and construct the ``Generator`` there.  Constructing a
+    generator from child ``i`` gives exactly the same stream in every
+    process, which is what makes trial fan-out byte-identical to the serial
+    loop (see :func:`repro.batch.parallel.run_trials`).
     """
     if n < 0:
         raise ValueError(f"number of generators must be non-negative, got {n}")
@@ -47,4 +50,14 @@ def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
         seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
     else:
         seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(n)]
+    return list(seq.spawn(n))
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    Used by experiment runners that repeat a trial many times: each repeat
+    gets its own stream, so the repeats are independent yet the whole
+    experiment is reproducible from one seed.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]

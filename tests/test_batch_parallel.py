@@ -1,9 +1,11 @@
-"""Equivalence tests for the multi-core sampling+scoring fan-out.
+"""Equivalence tests for the multi-core fan-out (both sharding modes).
 
 The contract of :mod:`repro.batch.parallel`: for a fixed seed, every
 ``n_jobs`` value produces byte-identical samples and scores, and leaves a
 passed-in generator in exactly the state the single-process path would —
 so whole experiments are reproducible independently of the worker count.
+The same holds for the trial-granular pool (:func:`repro.batch.run_trials`)
+that covers the German Credit panels and Fig. 2.
 """
 
 import warnings
@@ -14,11 +16,20 @@ import pytest
 from repro.batch import (
     mallows_sample_and_score,
     resolve_n_jobs,
+    run_trials,
     shard_row_ranges,
 )
-from repro.experiments.config import Fig1Config, Fig34Config
+from repro.datasets.german_credit import synthesize_german_credit
+from repro.experiments.config import (
+    Fig1Config,
+    Fig2Config,
+    Fig34Config,
+    GermanCreditConfig,
+)
 from repro.experiments.fig1_infeasible import run_fig1
+from repro.experiments.fig2_central_ii import run_fig2
 from repro.experiments.fig34_tradeoff import run_fig34
+from repro.experiments.german_credit_exp import run_german_credit
 from repro.fairness.constraints import FairnessConstraints
 from repro.groups.attributes import GroupAssignment
 from repro.mallows.sampling import sample_mallows_batch
@@ -190,6 +201,75 @@ class TestPipelineEquivalence:
         assert out.ndcg.shape == (0,)
 
 
+def _square_trial(trial_index, rng):
+    """Module-level (hence picklable) trial: index² plus one stream draw."""
+    return trial_index**2 + float(rng.random())
+
+
+def _payload_trial(trial_index, rng, offset, scale):
+    return offset + scale * trial_index + float(rng.random())
+
+
+def _stream_probe_trial(trial_index, rng):
+    """Returns the trial's first three uniforms — the raw stream identity."""
+    return rng.random(3).tolist()
+
+
+class TestTrialPool:
+    def test_results_in_trial_order_with_payload(self):
+        out = run_trials(_payload_trial, 5, seed=0, n_jobs=1, payload=(100.0, 10.0))
+        assert [int(x) for x in out] == [100, 110, 120, 130, 140]
+
+    def test_byte_identical_across_n_jobs(self):
+        results = [
+            run_trials(_stream_probe_trial, 9, seed=42, n_jobs=n_jobs)
+            for n_jobs in (1, 2, 3)
+        ]
+        assert results[1] == results[0]
+        assert results[2] == results[0]
+
+    def test_matches_spawned_generator_streams(self):
+        """Trial t's stream is exactly spawn_generators(seed, n)[t]'s."""
+        from repro.utils.rng import spawn_generators
+
+        out = run_trials(_stream_probe_trial, 4, seed=7, n_jobs=2)
+        expected = [g.random(3).tolist() for g in spawn_generators(7, 4)]
+        assert out == expected
+
+    def test_generator_seed_consumed_consistently(self):
+        """A passed-in generator is consumed identically for every n_jobs,
+        so downstream draws from the same stream are unaffected."""
+        g1 = np.random.default_rng(3)
+        g2 = np.random.default_rng(3)
+        a = run_trials(_square_trial, 4, seed=g1, n_jobs=1)
+        b = run_trials(_square_trial, 4, seed=g2, n_jobs=2)
+        assert a == b
+        assert np.array_equal(g1.random(5), g2.random(5))
+
+    def test_zero_trials(self):
+        assert run_trials(_square_trial, 0, seed=0, n_jobs=4) == []
+
+    def test_negative_trials_raises(self):
+        with pytest.raises(ValueError):
+            run_trials(_square_trial, -1, seed=0)
+
+    def test_invalid_n_jobs_raises(self):
+        with pytest.raises(ValueError):
+            run_trials(_square_trial, 3, seed=0, n_jobs=0)
+
+    def test_fewer_trials_than_workers_warns_once_and_runs_inline(self):
+        import repro.batch.parallel as parallel
+
+        parallel._small_trials_warned = False
+        with pytest.warns(RuntimeWarning, match="inline"):
+            out = run_trials(_square_trial, 3, seed=5, n_jobs=8)
+        assert out == run_trials(_square_trial, 3, seed=5, n_jobs=1)
+        # Warned only once per process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_trials(_square_trial, 2, seed=6, n_jobs=8)
+
+
 class TestExperimentEquivalence:
     def test_fig1_output_independent_of_njobs(self):
         base = dict(
@@ -218,6 +298,37 @@ class TestExperimentEquivalence:
         assert a.to_text_fig3() == b.to_text_fig3()
         assert a.to_text_fig4() == b.to_text_fig4()
 
+    def test_fig2_output_independent_of_njobs(self):
+        base = dict(deltas=(0.0, 0.6, 1.0), n_trials=12, n_bootstrap=60, seed=11)
+        results = [run_fig2(Fig2Config(**base, n_jobs=j)) for j in (1, 2, 3)]
+        for other in results[1:]:
+            assert other.to_text() == results[0].to_text()
+            for delta in results[0].central_ii:
+                ra = results[0].central_ii[delta]
+                rb = other.central_ii[delta]
+                assert (ra.estimate, ra.low, ra.high) == (
+                    rb.estimate, rb.low, rb.high,
+                )
+
+    def test_german_credit_output_independent_of_njobs(self):
+        data = synthesize_german_credit(seed=0)
+        base = dict(sizes=(10, 20), n_repeats=5, n_bootstrap=60, seed=11)
+        results = [
+            run_german_credit(GermanCreditConfig(**base, n_jobs=j), data=data)
+            for j in (1, 2, 3)
+        ]
+        for other in results[1:]:
+            assert other.to_text_fig5() == results[0].to_text_fig5()
+            assert other.to_text_fig6() == results[0].to_text_fig6()
+            assert other.to_text_fig7() == results[0].to_text_fig7()
+            for alg in results[0].ndcg:
+                for size in results[0].ndcg[alg]:
+                    ra = results[0].ndcg[alg][size]
+                    rb = other.ndcg[alg][size]
+                    assert (ra.estimate, ra.low, ra.high) == (
+                        rb.estimate, rb.low, rb.high,
+                    )
+
 
 class TestCliWiring:
     def test_jobs_flag_parses(self):
@@ -227,3 +338,13 @@ class TestCliWiring:
         assert parser.parse_args(["fig1", "--jobs", "4"]).jobs == 4
         assert parser.parse_args(["fig3"]).jobs == 1
         assert parser.parse_args(["all", "--fast", "--jobs", "-1"]).jobs == -1
+
+    def test_jobs_flag_covers_trial_sharded_commands(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        assert parser.parse_args(["fig2", "--jobs", "3"]).jobs == 3
+        assert parser.parse_args(["fig2"]).jobs == 1
+        args = parser.parse_args(["fig5", "--theta", "1", "--jobs", "2"])
+        assert args.jobs == 2 and args.theta == 1.0
+        assert parser.parse_args(["fig7"]).jobs == 1

@@ -1,0 +1,170 @@
+"""Bit-for-bit equivalence of the sub-quadratic Fenwick RIM decode.
+
+The contract (see the module docstring of :mod:`repro.mallows.sampling`):
+the Fenwick order-statistic decode and the chunked position-accumulator
+decode replay the same insertion process exactly, so for *any* displacement
+matrix they produce identical ``int64`` orders — the dispatch threshold can
+only ever change speed.  These tests pin that across random ``(m, n,
+theta)`` shapes, the crossover boundary itself, and the dispatcher knobs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mallows import sampling
+from repro.mallows.sampling import (
+    DEFAULT_DECODE_CROSSOVER,
+    FENWICK_MIN_ROWS,
+    _displacement_draws,
+    _orders_from_displacements,
+    _use_fenwick_decode,
+    calibrate_decode_crossover,
+    decode_crossover,
+    sample_mallows_batch,
+    set_decode_crossover,
+)
+from repro.rankings.permutation import random_ranking
+
+
+def _legacy_insertion_decode(center_order: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Reference decode: replay the insertions with Python list surgery
+    (twin of the reference in ``tests/test_batch_equivalence.py``)."""
+    m, n = v.shape
+    out = np.empty((m, n), dtype=np.int64)
+    center_list = center_order.tolist()
+    for s in range(m):
+        current: list[int] = []
+        row = v[s]
+        for j in range(n):
+            current.insert(j - int(row[j]), center_list[j])
+        out[s] = current
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    m=st.integers(min_value=1, max_value=80),
+    theta=st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_fenwick_matches_chunked_on_random_shapes(n, m, theta, seed):
+    rng = np.random.default_rng(seed)
+    v = _displacement_draws(n, theta, m, rng)
+    center = np.random.default_rng(seed + 1).permutation(n)
+    chunked = _orders_from_displacements(center, v, method="chunked")
+    fenwick = _orders_from_displacements(center, v, method="fenwick")
+    assert np.array_equal(chunked, fenwick)
+
+
+@pytest.mark.parametrize("theta", (0.0, 0.5, 2.0))
+@pytest.mark.parametrize("n", (1, 2, 3, 17, 64))
+def test_fenwick_matches_legacy_insertion_loop(theta, n):
+    rng = np.random.default_rng(100 * n + int(theta * 10))
+    v = _displacement_draws(n, theta, 50, rng)
+    center = random_ranking(n, seed=n).order
+    expected = _legacy_insertion_decode(center, v)
+    assert np.array_equal(
+        _orders_from_displacements(center, v, method="fenwick"), expected
+    )
+
+
+@pytest.mark.parametrize(
+    "n",
+    (
+        DEFAULT_DECODE_CROSSOVER - 1,
+        DEFAULT_DECODE_CROSSOVER,
+        DEFAULT_DECODE_CROSSOVER + 1,
+    ),
+)
+def test_decodes_agree_at_crossover_boundary(n):
+    """Either side of the dispatch threshold, both decodes agree exactly —
+    so the threshold itself can never change results."""
+    rng = np.random.default_rng(n)
+    v = _displacement_draws(n, 0.8, 12, rng)
+    center = np.random.default_rng(n + 1).permutation(n)
+    chunked = _orders_from_displacements(center, v, method="chunked")
+    fenwick = _orders_from_displacements(center, v, method="fenwick")
+    auto = _orders_from_displacements(center, v)
+    assert np.array_equal(chunked, fenwick)
+    assert np.array_equal(auto, chunked)
+
+
+def test_fenwick_across_its_chunk_boundary():
+    """A batch straddling the Fenwick decode's internal chunking must be
+    seamless (the tree state resets per chunk)."""
+    n = 1100  # size 2048 tree -> chunk of 2047 rows at the 8 MiB budget
+    size = 1 << (n - 1).bit_length()
+    chunk = max(32, sampling._FENWICK_CHUNK_BYTES // (2 * (size + 1)))
+    m = chunk + 7
+    rng = np.random.default_rng(5)
+    v = _displacement_draws(n, 1.0, m, rng)
+    center = np.random.default_rng(6).permutation(n)
+    fenwick = _orders_from_displacements(center, v, method="fenwick")
+    check = np.r_[0:3, chunk - 3 : chunk + 3, m - 3 : m]
+    chunked = _orders_from_displacements(center, v[check], method="chunked")
+    assert np.array_equal(fenwick[check], chunked)
+
+
+def test_large_n_sampler_end_to_end():
+    """sample_mallows_batch at n >= 2000 (the Fenwick regime) still yields
+    valid permutations whose draws match a forced chunked decode."""
+    n, m = 2000, FENWICK_MIN_ROWS + 8
+    center = random_ranking(n, seed=0)
+    orders = sample_mallows_batch(center, 0.5, m, seed=9)
+    assert orders.shape == (m, n)
+    # Spot-check a few rows are permutations.
+    for row in orders[:: m // 4]:
+        assert np.array_equal(np.sort(row), np.arange(n))
+    rng = np.random.default_rng(9)
+    v = _displacement_draws(n, 0.5, m, rng)
+    assert np.array_equal(
+        orders, _orders_from_displacements(center.order, v, method="chunked")
+    )
+
+
+class TestDispatcher:
+    def test_shape_gate(self):
+        assert _use_fenwick_decode(FENWICK_MIN_ROWS, DEFAULT_DECODE_CROSSOVER)
+        assert not _use_fenwick_decode(FENWICK_MIN_ROWS - 1, DEFAULT_DECODE_CROSSOVER)
+        assert not _use_fenwick_decode(FENWICK_MIN_ROWS, DEFAULT_DECODE_CROSSOVER - 1)
+        # Paper scale stays on the chunked path.
+        assert not _use_fenwick_decode(10_000, 500)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            _orders_from_displacements(
+                np.arange(3), np.zeros((2, 3), dtype=np.int64), method="bogus"
+            )
+
+    def test_set_decode_crossover(self):
+        try:
+            set_decode_crossover(64)
+            assert decode_crossover() == 64
+            assert _use_fenwick_decode(FENWICK_MIN_ROWS, 64)
+            with pytest.raises(ValueError):
+                set_decode_crossover(0)
+        finally:
+            set_decode_crossover(None)
+        assert decode_crossover() == DEFAULT_DECODE_CROSSOVER
+
+    def test_calibrate_without_apply_leaves_threshold(self):
+        before = decode_crossover()
+        measured = calibrate_decode_crossover(n_grid=(64, 128), m=64, apply=False)
+        assert decode_crossover() == before
+        assert measured in (64, 128, 129)
+
+    def test_calibrate_apply_sets_threshold(self):
+        try:
+            measured = calibrate_decode_crossover(n_grid=(64, 128), m=64, apply=True)
+            assert decode_crossover() == measured
+        finally:
+            set_decode_crossover(None)
+
+    def test_calibrate_validates_args(self):
+        with pytest.raises(ValueError):
+            calibrate_decode_crossover(m=0)
+        with pytest.raises(ValueError):
+            calibrate_decode_crossover(n_grid=())
