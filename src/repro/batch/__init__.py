@@ -21,7 +21,14 @@ This subpackage provides the batched building blocks for that workload:
   pipeline (Figs. 1/3/4) and by *trial* over arbitrary
   ``(trial_index, rng)`` experiment loops (Fig. 2, German Credit), both
   with per-shard RNG streams that keep every ``n_jobs`` value
-  byte-identical under a fixed seed.
+  byte-identical under a fixed seed;
+* :mod:`repro.batch.schedule` — the experiment-level scheduler on top:
+  heterogeneous independent jobs (figure experiments, German Credit
+  panels, per-panel repeats, per-delta trial blocks) flattened into one
+  task graph of :class:`~repro.batch.schedule.WorkUnit`\\ s and interleaved
+  through the single shared pool via a :class:`~repro.batch.schedule.WorkerPool`
+  handle, with per-unit ``SeedSequence`` children keeping whole-pipeline
+  output byte-identical for every ``n_jobs``.
 
 The scalar APIs in :mod:`repro.rankings.distances`,
 :mod:`repro.fairness.infeasible_index` and :mod:`repro.fairness.exposure`
@@ -54,12 +61,16 @@ from repro.batch.kernels import (
 )
 from repro.batch.parallel import (
     MallowsBatchScores,
+    effective_n_jobs,
+    in_worker,
     mallows_sample_and_score,
+    reset_warnings,
     resolve_n_jobs,
     run_trials,
     shard_row_ranges,
     shutdown_workers,
 )
+from repro.batch.schedule import WorkerPool, WorkUnit, pool_for, run_units
 
 __all__ = [
     "BatchRankings",
@@ -67,6 +78,8 @@ __all__ = [
     "DEFAULT_CACHE",
     "KernelCache",
     "MallowsBatchScores",
+    "WorkUnit",
+    "WorkerPool",
     "as_batch_orders",
     "batch_cayley",
     "batch_count_inversions",
@@ -85,10 +98,15 @@ __all__ = [
     "batch_ulam",
     "batch_violation_masks",
     "batch_weighted_kendall_tau",
+    "effective_n_jobs",
+    "in_worker",
     "kendall_tau_matrix",
     "mallows_sample_and_score",
+    "pool_for",
+    "reset_warnings",
     "resolve_n_jobs",
     "run_trials",
+    "run_units",
     "shard_row_ranges",
     "shutdown_workers",
 ]

@@ -33,14 +33,22 @@ are far too small for row sharding; they parallelize at the
 (``spawn_seed_sequences`` style), so trial ``t`` sees the same stream no
 matter which worker — or the serial loop — executes it.  Results are
 returned in trial order, making the output **byte-identical to the serial
-loop for every** ``n_jobs``.  Fan-out requests with fewer trials than
-workers run inline after a one-time :class:`RuntimeWarning` (the fork
-dispatch would cost more than it buys).
+loop for every** ``n_jobs``.  Requests with fewer trials than workers are
+clamped to ``min(n_jobs, n_trials)`` shards on the shared pool (heavy
+few-repeat loops stay parallel); only a single-trial request runs inline,
+after a one-time :class:`RuntimeWarning`.
 
 Both modes share the same per-``n_jobs`` pooled ``ProcessPoolExecutor``\\ s,
-reused across pipeline calls (the experiments call them in tight loops);
+reused across pipeline calls (the experiments call them in tight loops) and
+shared with the experiment-level scheduler (:mod:`repro.batch.schedule`);
 :func:`shutdown_workers` tears the pools down explicitly, and an ``atexit``
 hook does so at interpreter exit.
+
+Pool children never nest pools: every worker process is marked by a pool
+initializer, and :func:`effective_n_jobs` — the resolution step every fan-out
+entry point goes through — returns 1 inside a worker regardless of the
+requested ``n_jobs``.  A batch kernel reached *from inside* a pooled trial or
+work unit therefore always runs inline instead of forking grandchildren.
 """
 
 from __future__ import annotations
@@ -66,45 +74,66 @@ if TYPE_CHECKING:  # lazy at runtime: repro.mallows.sampling imports repro.batch
 #: one-time RuntimeWarning flags the declined fan-out request).
 MIN_ROWS_PER_JOB = 128
 
-_small_batch_warned = False
+#: Keys of the declined-fan-out advisories that have already fired.  A
+#: registry (rather than one boolean per call site) so test runs can wipe it
+#: wholesale between cases — a module global that latches forever would both
+#: leak state across tests and swallow later legitimate warnings.
+_WARNED: set[str] = set()
+
+
+def reset_warnings() -> None:
+    """Forget which declined-fan-out advisories have fired, so the next
+    occurrence of each warns again (used by the shared pytest fixture)."""
+    _WARNED.clear()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
 
 
 def _warn_small_batch(m: int, n_jobs: int) -> None:
-    global _small_batch_warned
-    if _small_batch_warned:
-        return
-    _small_batch_warned = True
-    warnings.warn(
+    _warn_once(
+        "small_batch",
         f"n_jobs={n_jobs} requested but the batch has only {m} rows "
         f"(< 2 x MIN_ROWS_PER_JOB = {2 * MIN_ROWS_PER_JOB}), so the pipeline "
         "runs single-process: at this size the worker-pool dispatch costs "
         "more than the work.  Output is identical either way.  Small-m "
         "experiment loops parallelize at the per-trial granularity instead "
-        "(see ROADMAP).  This warning is shown once per process.",
-        RuntimeWarning,
-        stacklevel=3,
+        "(see ROADMAP).  This warning is shown once per reset_warnings().",
     )
-
-_small_trials_warned = False
 
 
 def _warn_small_trials(n_trials: int, n_jobs: int) -> None:
-    global _small_trials_warned
-    if _small_trials_warned:
-        return
-    _small_trials_warned = True
-    warnings.warn(
+    _warn_once(
+        "small_trials",
         f"n_jobs={n_jobs} requested but the loop has only {n_trials} "
-        "trial(s), so it runs inline: dispatching fewer trials than workers "
-        "pays the fork/pickle overhead for nothing.  Output is identical "
-        "either way.  This warning is shown once per process.",
-        RuntimeWarning,
-        stacklevel=3,
+        "trial(s), so it runs inline: dispatching a single trial to the "
+        "pool pays the fork/pickle overhead for nothing.  Output is "
+        "identical either way.  This warning is shown once per "
+        "reset_warnings().",
     )
 
 
 #: Live executors keyed by worker count, reused across pipeline calls.
 _EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+
+#: True in pool-child processes (set by the executor initializer); pool
+#: children must never spawn pools of their own.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    """Executor initializer: flag this process as a pool child."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """Whether this process is a pool child of the shared executors."""
+    return _IN_WORKER
 
 
 def shard_row_ranges(m: int, n_shards: int) -> list[tuple[int, int]]:
@@ -137,6 +166,26 @@ def resolve_n_jobs(n_jobs: int) -> int:
     return int(n_jobs)
 
 
+def effective_n_jobs(n_jobs: int) -> int:
+    """:func:`resolve_n_jobs` plus the nesting guard: inside a pool child
+    the answer is always 1, whatever was requested.
+
+    ``resolve_n_jobs(-1)`` asks ``os.cpu_count()`` — a question only the
+    parent should answer: a worker that resolved ``-1`` to all cores and
+    forked its own pool would oversubscribe the machine ``n_jobs``-fold.
+    Every fan-out entry point resolves through here, so batch kernels called
+    from *inside* a pooled trial or work unit run inline by construction
+    rather than by the accident of their workload sizes.
+    """
+    if n_jobs != 1 and in_worker():
+        if n_jobs < 1 and n_jobs != -1:
+            raise ValueError(
+                f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}"
+            )
+        return 1
+    return resolve_n_jobs(n_jobs)
+
+
 def shutdown_workers() -> None:
     """Tear down every pooled worker process (they are lazily recreated)."""
     for executor in _EXECUTORS.values():
@@ -150,7 +199,9 @@ atexit.register(shutdown_workers)
 def _get_executor(n_jobs: int) -> ProcessPoolExecutor:
     executor = _EXECUTORS.get(n_jobs)
     if executor is None:
-        executor = ProcessPoolExecutor(max_workers=n_jobs)
+        executor = ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=_mark_worker
+        )
         _EXECUTORS[n_jobs] = executor
     return executor
 
@@ -282,7 +333,7 @@ def mallows_sample_and_score(
 
     if (groups is None) != (constraints is None):
         raise ValueError("groups and constraints must be supplied together")
-    n_jobs = resolve_n_jobs(n_jobs)
+    n_jobs = effective_n_jobs(n_jobs)
     n = len(center)
     score_array = None
     if scores is not None:
@@ -410,20 +461,24 @@ def run_trials(
         consume it (one 63-bit draw).
     n_jobs:
         Worker processes (``-1`` = all cores).  When ``n_trials < n_jobs``
-        the loop runs inline after a one-time :class:`RuntimeWarning` —
-        forking workers for fewer trials than workers costs more than it
-        buys.  Output is identical for every value.
+        the fan-out is *clamped*: the trials are sharded one-per-worker
+        across ``min(n_jobs, n_trials)`` workers of the shared pool, so
+        heavy few-repeat loops (German Credit at ``n_repeats=5`` under
+        ``--jobs -1``) still run fully parallel.  Only the truly-inline
+        case — a single trial — skips the pool, after a one-time
+        :class:`RuntimeWarning`.  Output is identical for every value.
     payload:
         Extra positional arguments shipped to every trial (pickled once per
         shard, not once per trial).
     """
     if n_trials < 0:
         raise ValueError(f"trial count must be non-negative, got {n_trials}")
-    n_jobs = resolve_n_jobs(n_jobs)
+    n_jobs = effective_n_jobs(n_jobs)
     seqs = spawn_seed_sequences(seed, n_trials)
     if n_trials == 0:
         return []
-    if n_jobs == 1 or n_trials < n_jobs:
+    n_shards = min(n_jobs, n_trials)
+    if n_shards == 1:
         if n_jobs > 1:
             _warn_small_trials(n_trials, n_jobs)
         return [
@@ -438,7 +493,7 @@ def run_trials(
             seeds=tuple(seqs[lo:hi]),
             payload=payload,
         )
-        for lo, hi in shard_row_ranges(n_trials, n_jobs)
+        for lo, hi in shard_row_ranges(n_trials, n_shards)
     ]
     executor = _get_executor(n_jobs)
     try:

@@ -1,0 +1,208 @@
+"""Experiment-level work scheduler: one task graph, one shared pool.
+
+The fan-out primitives of :mod:`repro.batch.parallel` parallelize *inside*
+one experiment loop — a batch of Mallows rows, a run of trials.  Whole
+pipelines (``run_all``) are made of many such loops plus work that fits
+neither mode: seven figure experiments, four German Credit panels, a table.
+Run one loop at a time and the pipeline scales with the *widest inner loop*,
+not with the machine.  This module flattens the whole pipeline into a flat
+graph of independent :class:`WorkUnit`\\ s — figure experiments, panels,
+per-panel repeats, per-delta trial blocks — and interleaves all of them
+through the one shared process pool.
+
+Task-graph / seed-tree contract
+-------------------------------
+* A :class:`WorkUnit` is an independent job: a module-level callable ``fn``,
+  an optional :class:`~numpy.random.SeedSequence`, a picklable ``payload``
+  tuple, a hashable ``key`` and a ``weight`` (a relative cost estimate).
+  Units never depend on each other — anything sequential (bootstrap
+  aggregation, report rendering) stays in the caller, downstream of
+  :func:`run_units`.
+* ``fn`` is invoked as ``fn(seed, *payload)`` with the unit's
+  ``SeedSequence`` (or ``None``).  Randomness must come only from
+  generators derived from that seed, so the unit's output is a pure
+  function of ``(fn, seed, payload)`` — the property that makes the
+  schedule free to run units anywhere, in any order.
+* The caller derives each unit's seed from its experiment's existing seed
+  tree (the same ``SeedSequence`` children the serial loop would hand that
+  piece of work).  Because child sequences are addressed by index, not by
+  draw order, the flattening does not perturb any stream: byte-identical
+  output for every ``n_jobs`` is inherited from the seed tree, not
+  re-established per experiment.
+* :func:`run_units` returns ``{unit.key: result}`` in *input order*,
+  whatever order the pool finished in.  Keys must be unique per call.
+* Units are submitted heaviest-``weight``-first (longest-processing-time
+  order), so a late long-running panel repeat cannot serialize the tail of
+  the schedule.  Weights only shape the schedule, never the results.
+* The pool is the same per-``n_jobs`` pooled executor the inner-loop
+  primitives use, and pool children are barred from nesting pools
+  (:func:`~repro.batch.parallel.effective_n_jobs` forces ``n_jobs=1``
+  inside workers) — a unit that internally calls ``run_trials`` or
+  ``mallows_sample_and_score`` simply runs that part inline.
+
+:class:`WorkerPool` is the shareable handle for all of this: experiment
+configs carry one ``pool`` and every entry point schedules through it, so a
+composite pipeline funnels every unit into the same executor instead of
+each experiment spinning up its own fan-out.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.batch.parallel import (
+    _EXECUTORS,
+    _get_executor,
+    effective_n_jobs,
+)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent job of a task graph (see the module docstring).
+
+    Attributes
+    ----------
+    key:
+        Hashable identity of the unit, unique within one schedule; results
+        are returned keyed by it.
+    fn:
+        Module-level callable (pickled to the workers), invoked as
+        ``fn(seed, *payload)``; its return value must be picklable.
+    seed:
+        The unit's private :class:`~numpy.random.SeedSequence` (or ``None``
+        for deterministic units).  All of the unit's randomness must derive
+        from it.
+    payload:
+        Extra positional arguments, pickled with the unit.
+    weight:
+        Relative cost estimate; heavier units are dispatched first.
+    """
+
+    key: Hashable
+    fn: Callable[..., Any]
+    seed: np.random.SeedSequence | None = None
+    payload: tuple[Any, ...] = ()
+    weight: float = 1.0
+
+
+def _run_unit(fn: Callable[..., Any], seed, payload: tuple[Any, ...]) -> Any:
+    """Execute one unit (in a worker or inline — identical either way)."""
+    return fn(seed, *payload)
+
+
+def run_units(
+    units: Iterable[WorkUnit],
+    *,
+    n_jobs: int = 1,
+    on_unit_done: Callable[[Hashable], None] | None = None,
+) -> dict[Hashable, Any]:
+    """Run every unit, interleaved through the shared ``n_jobs`` pool.
+
+    Returns ``{unit.key: result}`` ordered like the input units.  With
+    ``n_jobs=1`` (or inside a pool child, or for a single unit) the units
+    run inline in input order — the scheduled and inline paths produce
+    identical mappings because every unit's output is a pure function of
+    ``(fn, seed, payload)``.
+
+    ``on_unit_done`` (when given) is called in the parent with each unit's
+    key as that unit finishes — in completion order when pooled, in input
+    order inline — so callers can surface live progress; it must not
+    depend on results.  If any unit raises, the first failure (in
+    completion order) propagates and every not-yet-started unit is
+    cancelled rather than left running in the shared pool.
+    """
+    units = list(units)
+    keys = [u.key for u in units]
+    if len(set(keys)) != len(keys):
+        seen: set[Hashable] = set()
+        dup = next(k for k in keys if k in seen or seen.add(k))
+        raise ValueError(f"duplicate work-unit key: {dup!r}")
+    n_jobs = effective_n_jobs(n_jobs)
+    if n_jobs == 1 or len(units) <= 1:
+        results: dict[Hashable, Any] = {}
+        for u in units:
+            results[u.key] = _run_unit(u.fn, u.seed, u.payload)
+            if on_unit_done is not None:
+                on_unit_done(u.key)
+        return results
+
+    executor = _get_executor(n_jobs)
+    # Longest-processing-time dispatch: heaviest units enter the pool first
+    # (ties keep input order — sort is stable), so stragglers start early.
+    order = sorted(range(len(units)), key=lambda i: -units[i].weight)
+    futures: dict[int, Any] = {}
+    try:
+        for i in order:
+            futures[i] = executor.submit(
+                _run_unit, units[i].fn, units[i].seed, units[i].payload
+            )
+        index_of = {future: i for i, future in futures.items()}
+        for future in as_completed(index_of):
+            future.result()  # re-raise a unit failure promptly
+            if on_unit_done is not None:
+                on_unit_done(units[index_of[future]].key)
+        return {units[i].key: futures[i].result() for i in range(len(units))}
+    except BrokenProcessPool:
+        _EXECUTORS.pop(n_jobs, None)
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    except BaseException:
+        # A unit failed (or the caller was interrupted): drop everything
+        # still queued so the shared pool doesn't grind on for a result
+        # mapping nobody will see.  Units already running finish their
+        # current work and the pool stays usable.
+        for future in futures.values():
+            future.cancel()
+        raise
+
+
+@dataclass(frozen=True)
+class WorkerPool:
+    """Shareable handle on the scheduler: an ``n_jobs`` budget plus the
+    scheduling entry points, threaded through experiment configs.
+
+    The handle is deliberately stateless (the executors themselves live in
+    the process-wide registry of :mod:`repro.batch.parallel`, keyed by
+    worker count), so it is cheap, picklable, and safe to embed in frozen
+    config dataclasses: two configs built with the same handle schedule
+    onto the same pool.
+    """
+
+    #: Worker processes (``-1`` = all cores); resolved at scheduling time.
+    n_jobs: int = 1
+
+    def run(
+        self,
+        units: Iterable[WorkUnit],
+        on_unit_done: Callable[[Hashable], None] | None = None,
+    ) -> dict[Hashable, Any]:
+        """Schedule ``units`` through this pool (see :func:`run_units`)."""
+        return run_units(units, n_jobs=self.n_jobs, on_unit_done=on_unit_done)
+
+    def run_trials(
+        self,
+        trial_fn: Callable[..., Any],
+        n_trials: int,
+        *,
+        seed=None,
+        payload: tuple[Any, ...] = (),
+    ) -> list[Any]:
+        """Trial-granular fan-out on this pool (see
+        :func:`repro.batch.parallel.run_trials`)."""
+        from repro.batch.parallel import run_trials
+
+        return run_trials(
+            trial_fn, n_trials, seed=seed, n_jobs=self.n_jobs, payload=payload
+        )
+
+
+def pool_for(pool: WorkerPool | None, n_jobs: int) -> WorkerPool:
+    """The config-resolution rule: an explicitly threaded ``pool`` wins,
+    otherwise a handle on the ``n_jobs``-sized shared pool."""
+    return pool if pool is not None else WorkerPool(n_jobs)

@@ -10,9 +10,13 @@ Examples
     repro-fair-ranking all --fast --jobs -1
 
 ``--jobs`` fans the experiments out across worker processes (``-1`` = all
-cores) — by batch row for the Mallows sampling+scoring pipelines
-(Figs. 1/3/4) and by trial for Fig. 2 and the German Credit panels
-(Figs. 5/6/7); reports are byte-identical for every value.
+cores).  Each figure command schedules that experiment's own work units
+(figure cells, per-δ trial blocks, panel repeats) onto the shared pool;
+``all`` goes further and flattens *every* experiment into one task graph —
+the seven figures, Table I, and all four German Credit panels interleave
+through a single pool, so the full pipeline scales with the core count
+rather than with its widest inner loop.  Reports are byte-identical for
+every value.
 """
 
 from __future__ import annotations
@@ -52,11 +56,12 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help=(
                 "worker processes (-1 = all cores); output is byte-identical "
-                "for every value.  Figs. 1/3/4 shard the sampling+scoring "
-                "batch by row (pays off at hundreds of rows per call); "
-                "Fig. 2 and the German Credit panels shard by trial.  "
-                "Workloads too small to amortize the pool run single-process "
-                "and warn once"
+                "for every value.  Each experiment's independent work units "
+                "(figure cells, per-delta trial blocks, German Credit panel "
+                "repeats) are scheduled onto one shared process pool; 'all' "
+                "flattens every experiment into a single task graph so the "
+                "whole pipeline scales with the core count.  Workloads too "
+                "small to amortize the pool run single-process and warn once"
             ),
         )
 
@@ -82,7 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         _add_jobs_flag(p)
 
-    p_all = sub.add_parser("all", help="run every artefact")
+    p_all = sub.add_parser(
+        "all",
+        help=(
+            "run every artefact; with --jobs N the experiments are "
+            "flattened into one task graph on a shared worker pool"
+        ),
+    )
     p_all.add_argument(
         "--fast", action="store_true", help="reduced Monte-Carlo settings"
     )

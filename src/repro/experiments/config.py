@@ -3,11 +3,23 @@
 Defaults mirror the paper's settings; benchmarks shrink the Monte-Carlo
 knobs (sample counts, bootstrap resamples) where the full protocol would
 take minutes, without changing the workload shape.
+
+Every config carries the same parallelism pair: ``n_jobs`` (worker budget,
+``-1`` = all cores) and ``pool`` (an optional shared
+:class:`~repro.batch.schedule.WorkerPool` handle).  A composite pipeline
+like :func:`~repro.experiments.runner.run_all` builds one handle and
+threads it through every config, so all experiments schedule their work
+units onto the same process pool instead of each spinning up its own
+fan-out; a config without a handle gets a private view on the
+``n_jobs``-sized shared pool.  Either way the output is byte-identical for
+every worker count under a fixed seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.batch.schedule import WorkerPool
 
 
 def _default_thetas() -> tuple[float, ...]:
@@ -35,6 +47,9 @@ class Fig1Config:
     #: Worker processes for the sampling+scoring pipeline (-1 = all cores).
     #: Output is byte-identical for every value under a fixed seed.
     n_jobs: int = 1
+    #: Shared scheduler handle (overrides ``n_jobs`` when set); see the
+    #: module docstring.
+    pool: WorkerPool | None = None
 
 
 @dataclass(frozen=True)
@@ -50,6 +65,9 @@ class Fig2Config:
     #: Worker processes for the per-trial fan-out (-1 = all cores).
     #: Output is byte-identical for every value under a fixed seed.
     n_jobs: int = 1
+    #: Shared scheduler handle (overrides ``n_jobs`` when set); see the
+    #: module docstring.
+    pool: WorkerPool | None = None
 
 
 @dataclass(frozen=True)
@@ -66,6 +84,9 @@ class Fig34Config:
     #: Worker processes for the sampling+scoring pipeline (-1 = all cores).
     #: Output is byte-identical for every value under a fixed seed.
     n_jobs: int = 1
+    #: Shared scheduler handle (overrides ``n_jobs`` when set); see the
+    #: module docstring.
+    pool: WorkerPool | None = None
 
 
 @dataclass(frozen=True)
@@ -87,6 +108,9 @@ class GermanCreditConfig:
     #: Worker processes for the per-repeat fan-out (-1 = all cores).
     #: Output is byte-identical for every value under a fixed seed.
     n_jobs: int = 1
+    #: Shared scheduler handle (overrides ``n_jobs`` when set); see the
+    #: module docstring.
+    pool: WorkerPool | None = None
 
     def panel_name(self) -> str:
         """Panel label matching the paper's subfigure captions."""

@@ -8,19 +8,27 @@ the bootstrap mean II of the samples.  The paper's qualitative findings:
 * for a *high*-II centre, small θ produces a **large II drop**;
 * for a *low*-II centre, small θ raises II only mildly (toward the uniform
   average).
+
+Each ``(target II, θ)`` cell is one independent
+:class:`~repro.batch.schedule.WorkUnit` — its seed is the same
+``SeedSequence`` child the serial loop would hand it — so the whole figure
+interleaves with other experiments through the shared pool and the result
+is byte-identical for every worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.batch import mallows_sample_and_score
+import numpy as np
+
+from repro.batch import WorkUnit, mallows_sample_and_score, pool_for
 from repro.datasets.synthetic import engineered_ranking_with_ii
 from repro.experiments.config import Fig1Config
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.infeasible_index import infeasible_index
 from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import spawn_seed_sequences
 from repro.utils.tables import format_series
 
 
@@ -61,46 +69,86 @@ class Fig1Result:
         return "\n\n".join(blocks)
 
 
-def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
-    """Run the Figure 1 experiment under ``config``."""
-    rngs = spawn_generators(
-        config.seed, len(config.target_iis) * len(config.thetas) + 1
-    )
-    rng_idx = 0
+def _cell_unit(
+    seed: np.random.SeedSequence,
+    target: int,
+    theta: float,
+    config: Fig1Config,
+) -> tuple[int, BootstrapResult]:
+    """One (target II, θ) cell: engineer the centre, sample+score, bootstrap.
 
+    The generator built from ``seed`` is threaded through sampling and then
+    the bootstrap, exactly as the serial loop threads its per-cell rng.
+    """
+    rng = np.random.default_rng(seed)
+    center, groups = engineered_ranking_with_ii(target, n=config.n_items)
+    constraints = FairnessConstraints.proportional(groups)
+    actual_ii = infeasible_index(center, groups, constraints)
+    scored = mallows_sample_and_score(
+        center,
+        theta,
+        config.n_samples,
+        groups=groups,
+        constraints=constraints,
+        seed=rng,
+        n_jobs=config.n_jobs,
+    )
+    ci = bootstrap_ci(
+        scored.infeasible_index.astype(float),
+        n_resamples=config.n_bootstrap,
+        seed=rng,
+    )
+    return actual_ii, ci
+
+
+def fig1_units(config: Fig1Config) -> list[WorkUnit]:
+    """One work unit per ``(target II, θ)`` cell, seeded by the same
+    ``SeedSequence`` children the serial loop hands each cell."""
+    seqs = spawn_seed_sequences(
+        config.seed, len(config.target_iis) * len(config.thetas)
+    )
+    units: list[WorkUnit] = []
+    idx = 0
+    for target in config.target_iis:
+        for theta in config.thetas:
+            units.append(
+                WorkUnit(
+                    key=("fig1", target, theta),
+                    fn=_cell_unit,
+                    seed=seqs[idx],
+                    payload=(target, theta, config),
+                    weight=float(config.n_samples),
+                )
+            )
+            idx += 1
+    return units
+
+
+def collect_fig1(config: Fig1Config, results: dict) -> Fig1Result:
+    """Assemble the figure from the scheduled cell results."""
     central_iis: list[int] = []
     mean_sample_ii: dict[int, dict[float, BootstrapResult]] = {}
     for target in config.target_iis:
-        center, groups = engineered_ranking_with_ii(target, n=config.n_items)
-        constraints = FairnessConstraints.proportional(groups)
-        actual_ii = infeasible_index(center, groups, constraints)
-        central_iis.append(actual_ii)
         per_theta: dict[float, BootstrapResult] = {}
+        actual_ii = 0
         for theta in config.thetas:
-            rng = rngs[rng_idx]
-            rng_idx += 1
-            # Sampling + scoring fans out across config.n_jobs workers;
-            # the result (and the rng stream handed to the bootstrap) is
-            # byte-identical for every n_jobs value.
-            scored = mallows_sample_and_score(
-                center,
-                theta,
-                config.n_samples,
-                groups=groups,
-                constraints=constraints,
-                seed=rng,
-                n_jobs=config.n_jobs,
-            )
-            iis = scored.infeasible_index
-            per_theta[theta] = bootstrap_ci(
-                iis.astype(float),
-                n_resamples=config.n_bootstrap,
-                seed=rng,
-            )
+            actual_ii, ci = results[("fig1", target, theta)]
+            per_theta[theta] = ci
+        central_iis.append(actual_ii)
         mean_sample_ii[actual_ii] = per_theta
-
     return Fig1Result(
         config=config,
         central_iis=tuple(central_iis),
         mean_sample_ii=mean_sample_ii,
     )
+
+
+def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
+    """Run the Figure 1 experiment under ``config``.
+
+    The ``(target, θ)`` cells are scheduled through ``config.pool`` (or a
+    private view on the ``config.n_jobs``-sized shared pool); output is
+    byte-identical for every worker count.
+    """
+    pool = pool_for(config.pool, config.n_jobs)
+    return collect_fig1(config, pool.run(fig1_units(config)))

@@ -3,6 +3,12 @@
 Two groups of five candidates with scores ``U(0,1)`` and ``U(δ, 1+δ)``:
 as the shift δ grows the score-sorted ranking segregates the groups, so its
 Infeasible Index rises toward the maximum.
+
+Each δ is one independent :class:`~repro.batch.schedule.WorkUnit` (its
+trial block and bootstrap both derive from that δ's own ``SeedSequence``
+child), so the figure interleaves with other experiments through the shared
+pool; inside a pooled unit the per-trial fan-out runs inline (pool children
+never nest pools).  Output is byte-identical for every worker count.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.batch import batch_infeasible_index, run_trials
+from repro.batch import WorkUnit, batch_infeasible_index, pool_for
 from repro.datasets.synthetic import two_group_shifted_scores
 from repro.experiments.config import Fig2Config
 from repro.fairness.constraints import FairnessConstraints
@@ -54,41 +60,74 @@ def _central_ranking_trial(
     return two_group_shifted_scores(delta, group_size=group_size, seed=rng).ranking.order
 
 
-def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
-    """Run the Figure 2 experiment under ``config``.
+def _delta_unit(
+    seed: np.random.SeedSequence,
+    delta: float,
+    config: Fig2Config,
+    groups: GroupAssignment,
+    constraints: FairnessConstraints,
+) -> BootstrapResult:
+    """One δ: its trial block, batched II scoring, and bootstrap."""
+    trial_seq, bootstrap_seq = seed.spawn(2)
+    # The trial block fans out through the same shared pool handle the unit
+    # was scheduled by; inside a pool child it runs inline (no nesting).
+    pool = pool_for(config.pool, config.n_jobs)
+    trial_orders = np.stack(
+        pool.run_trials(
+            _central_ranking_trial,
+            config.n_trials,
+            seed=trial_seq,
+            payload=(delta, config.group_size),
+        )
+    )
+    iis = batch_infeasible_index(trial_orders, groups, constraints).astype(
+        np.float64
+    )
+    return bootstrap_ci(
+        iis, n_resamples=config.n_bootstrap, seed=np.random.default_rng(bootstrap_seq)
+    )
 
-    The ``(delta, trial)`` loop fans out across ``config.n_jobs`` worker
-    processes at the trial granularity via :func:`repro.batch.run_trials`;
-    per-trial seed children keep the result byte-identical for every
-    ``n_jobs`` value under a fixed seed.
-    """
+
+def fig2_units(config: Fig2Config) -> list[WorkUnit]:
+    """One work unit per δ, seeded by that δ's ``SeedSequence`` child."""
     if config.n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {config.n_trials}")
     delta_seqs = spawn_seed_sequences(config.seed, len(config.deltas))
     # The group structure is the same for every draw (two fixed index
     # blocks, as two_group_shifted_scores lays them out), so it is built
-    # once and the per-trial central rankings are stacked and scored with
-    # one batched Infeasible-Index kernel call per delta.
+    # once and shipped with each unit; each δ's trials are stacked and
+    # scored with one batched Infeasible-Index kernel call.
     groups = GroupAssignment.from_indices(
         np.repeat(np.arange(2, dtype=np.int64), config.group_size)
     )
     constraints = FairnessConstraints.proportional(groups)
-    central_ii: dict[float, BootstrapResult] = {}
-    for delta, delta_seq in zip(config.deltas, delta_seqs):
-        trial_seq, bootstrap_seq = delta_seq.spawn(2)
-        trial_orders = np.stack(
-            run_trials(
-                _central_ranking_trial,
-                config.n_trials,
-                seed=trial_seq,
-                n_jobs=config.n_jobs,
-                payload=(delta, config.group_size),
-            )
+    return [
+        WorkUnit(
+            key=("fig2", delta),
+            fn=_delta_unit,
+            seed=delta_seq,
+            payload=(delta, config, groups, constraints),
+            weight=float(config.n_trials),
         )
-        iis = batch_infeasible_index(trial_orders, groups, constraints).astype(
-            np.float64
-        )
-        central_ii[delta] = bootstrap_ci(
-            iis, n_resamples=config.n_bootstrap, seed=np.random.default_rng(bootstrap_seq)
-        )
-    return Fig2Result(config=config, central_ii=central_ii)
+        for delta, delta_seq in zip(config.deltas, delta_seqs)
+    ]
+
+
+def collect_fig2(config: Fig2Config, results: dict) -> Fig2Result:
+    """Assemble the figure from the scheduled per-δ results."""
+    return Fig2Result(
+        config=config,
+        central_ii={d: results[("fig2", d)] for d in config.deltas},
+    )
+
+
+def run_fig2(config: Fig2Config = Fig2Config()) -> Fig2Result:
+    """Run the Figure 2 experiment under ``config``.
+
+    The per-δ units are scheduled through ``config.pool`` (or a private
+    view on the ``config.n_jobs``-sized shared pool); per-δ seed children
+    keep the result byte-identical for every worker count under a fixed
+    seed.
+    """
+    pool = pool_for(config.pool, config.n_jobs)
+    return collect_fig2(config, pool.run(fig2_units(config)))

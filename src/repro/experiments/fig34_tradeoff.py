@@ -5,6 +5,12 @@ Mallows centre and we sweep θ, measuring both the Infeasible Index (Fig. 3)
 and the NDCG (Fig. 4) of the samples.  As θ grows the samples converge to
 the centre, so the II converges to the centre's II and the NDCG to 1 —
 exposing the trade-off: more noise repairs fairness but costs NDCG.
+
+Each δ is one independent :class:`~repro.batch.schedule.WorkUnit` — its
+trial loop threads a single generator built from that δ's ``SeedSequence``
+child, exactly as the serial sweep does — so the figure interleaves with
+other experiments through the shared pool and the result is byte-identical
+for every worker count.
 """
 
 from __future__ import annotations
@@ -13,13 +19,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.batch import mallows_sample_and_score
+from repro.batch import WorkUnit, mallows_sample_and_score, pool_for
 from repro.datasets.synthetic import two_group_shifted_scores
 from repro.experiments.config import Fig34Config
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.infeasible_index import infeasible_index
 from repro.utils.bootstrap import BootstrapResult, bootstrap_ci
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import spawn_seed_sequences
 from repro.utils.tables import format_series
 
 
@@ -69,59 +75,99 @@ class Fig34Result:
         return "\n\n".join(blocks)
 
 
-def run_fig34(config: Fig34Config = Fig34Config()) -> Fig34Result:
-    """Run the Figures 3–4 experiment under ``config``."""
-    rngs = spawn_generators(config.seed, len(config.deltas))
+def _delta_unit(
+    seed: np.random.SeedSequence,
+    delta: float,
+    config: Fig34Config,
+) -> tuple[float, dict[float, BootstrapResult], dict[float, BootstrapResult]]:
+    """One δ: its full trial sweep over θ plus the per-θ bootstraps.
+
+    One generator is built from ``seed`` and threaded through every draw,
+    sampling call, and bootstrap in the same order as the serial sweep.
+    """
+    rng = np.random.default_rng(seed)
+    ii_per_theta: dict[float, list[float]] = {t: [] for t in config.thetas}
+    ndcg_per_theta: dict[float, list[float]] = {t: [] for t in config.thetas}
+    central_iis: list[float] = []
+
+    for _ in range(config.n_trials):
+        sample = two_group_shifted_scores(
+            delta, group_size=config.group_size, seed=rng
+        )
+        constraints = FairnessConstraints.proportional(sample.groups)
+        central_iis.append(
+            infeasible_index(sample.ranking, sample.groups, constraints)
+        )
+        for theta in config.thetas:
+            # One sampling+scoring pipeline call per theta; inside a pooled
+            # unit it runs inline (pool children never nest pools), and the
+            # output is byte-identical across n_jobs either way.
+            scored = mallows_sample_and_score(
+                sample.ranking,
+                theta,
+                config.samples_per_trial,
+                groups=sample.groups,
+                constraints=constraints,
+                scores=sample.scores,
+                seed=rng,
+                n_jobs=config.n_jobs,
+            )
+            ii_per_theta[theta].append(float(scored.infeasible_index.mean()))
+            ndcg_per_theta[theta].append(float(scored.ndcg.mean()))
+
+    sample_ii = {
+        t: bootstrap_ci(np.array(v), n_resamples=config.n_bootstrap, seed=rng)
+        for t, v in ii_per_theta.items()
+    }
+    sample_ndcg = {
+        t: bootstrap_ci(np.array(v), n_resamples=config.n_bootstrap, seed=rng)
+        for t, v in ndcg_per_theta.items()
+    }
+    return float(np.mean(central_iis)), sample_ii, sample_ndcg
+
+
+def fig34_units(config: Fig34Config) -> list[WorkUnit]:
+    """One work unit per δ, seeded by that δ's ``SeedSequence`` child."""
+    seqs = spawn_seed_sequences(config.seed, len(config.deltas))
+    weight = float(
+        config.n_trials * config.samples_per_trial * len(config.thetas)
+    )
+    return [
+        WorkUnit(
+            key=("fig34", delta),
+            fn=_delta_unit,
+            seed=seq,
+            payload=(delta, config),
+            weight=weight,
+        )
+        for delta, seq in zip(config.deltas, seqs)
+    ]
+
+
+def collect_fig34(config: Fig34Config, results: dict) -> Fig34Result:
+    """Assemble Figures 3 & 4 from the scheduled per-δ results."""
     central_ii: dict[float, float] = {}
     sample_ii: dict[float, dict[float, BootstrapResult]] = {}
     sample_ndcg: dict[float, dict[float, BootstrapResult]] = {}
-
-    for delta, rng in zip(config.deltas, rngs):
-        ii_per_theta: dict[float, list[float]] = {t: [] for t in config.thetas}
-        ndcg_per_theta: dict[float, list[float]] = {t: [] for t in config.thetas}
-        central_iis: list[float] = []
-
-        for _ in range(config.n_trials):
-            sample = two_group_shifted_scores(
-                delta, group_size=config.group_size, seed=rng
-            )
-            constraints = FairnessConstraints.proportional(sample.groups)
-            central_iis.append(
-                infeasible_index(sample.ranking, sample.groups, constraints)
-            )
-            for theta in config.thetas:
-                # One sharded sampling+scoring pipeline call per theta;
-                # byte-identical across n_jobs values under the fixed seed.
-                scored = mallows_sample_and_score(
-                    sample.ranking,
-                    theta,
-                    config.samples_per_trial,
-                    groups=sample.groups,
-                    constraints=constraints,
-                    scores=sample.scores,
-                    seed=rng,
-                    n_jobs=config.n_jobs,
-                )
-                ii_per_theta[theta].append(float(scored.infeasible_index.mean()))
-                ndcg_per_theta[theta].append(float(scored.ndcg.mean()))
-
-        central_ii[delta] = float(np.mean(central_iis))
-        sample_ii[delta] = {
-            t: bootstrap_ci(
-                np.array(v), n_resamples=config.n_bootstrap, seed=rng
-            )
-            for t, v in ii_per_theta.items()
-        }
-        sample_ndcg[delta] = {
-            t: bootstrap_ci(
-                np.array(v), n_resamples=config.n_bootstrap, seed=rng
-            )
-            for t, v in ndcg_per_theta.items()
-        }
-
+    for delta in config.deltas:
+        central, ii, ndcg = results[("fig34", delta)]
+        central_ii[delta] = central
+        sample_ii[delta] = ii
+        sample_ndcg[delta] = ndcg
     return Fig34Result(
         config=config,
         central_ii=central_ii,
         sample_ii=sample_ii,
         sample_ndcg=sample_ndcg,
     )
+
+
+def run_fig34(config: Fig34Config = Fig34Config()) -> Fig34Result:
+    """Run the Figures 3–4 experiment under ``config``.
+
+    The per-δ units are scheduled through ``config.pool`` (or a private
+    view on the ``config.n_jobs``-sized shared pool); output is
+    byte-identical for every worker count.
+    """
+    pool = pool_for(config.pool, config.n_jobs)
+    return collect_fig34(config, pool.run(fig34_units(config)))

@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.algorithms.base import FairRankingProblem
 from repro.algorithms.detconstsort import DetConstSort
-from repro.batch import BatchRankings, batch_ndcg, batch_percent_fair, run_trials
+from repro.batch import (
+    BatchRankings,
+    WorkUnit,
+    batch_ndcg,
+    batch_percent_fair,
+    pool_for,
+)
 from repro.algorithms.dp import DpFairRanking
 from repro.algorithms.ilp import IlpFairRanking
 from repro.algorithms.ipf import ApproxMultiValuedIPF
@@ -137,20 +143,54 @@ def run_table1(data: GermanCreditData | None = None) -> str:
     )
 
 
-def run_german_credit(
-    config: GermanCreditConfig = GermanCreditConfig(),
-    data: GermanCreditData | None = None,
-) -> GermanCreditResult:
-    """Run one (θ, σ) panel of the Section V-C comparison.
+def _panel_key(config: GermanCreditConfig, size: int, repeat: int) -> tuple:
+    """Task-graph key of one panel repeat, unique across the four panels."""
+    return ("gc", config.theta, config.noise_sigma, size, repeat)
 
-    The ``(size, repeat)`` double loop fans out across
-    ``config.n_jobs`` worker processes at the *repeat* granularity via
-    :func:`repro.batch.run_trials`: every repeat draws its stream from its
-    own seed child, so the panel is byte-identical for every ``n_jobs``
-    value under a fixed seed.
+
+def german_credit_units(
+    config: GermanCreditConfig, data: GermanCreditData
+) -> list[WorkUnit]:
+    """One work unit per ``(size, repeat)`` cell of the panel.
+
+    Each repeat's seed is the same ``SeedSequence`` child the serial
+    ``(size, repeat)`` double loop (via the per-size trial pool) would hand
+    it, so scheduling granularity never shows in the output.  Units are
+    weighted by subsample size — the solvers dominate and their cost grows
+    with ``k`` — so the longest repeats enter the pool first.
+
+    ``data`` rides in every unit's payload (~25 KiB pickled): microseconds
+    per submit, noise against a solver repeat, so per-repeat granularity is
+    the better trade than the trial pool's once-per-shard shipping.
     """
-    if data is None:
-        data = load_german_credit(seed=config.seed)
+    size_seqs = spawn_seed_sequences(config.seed, len(config.sizes))
+    units: list[WorkUnit] = []
+    for size, size_seq in zip(config.sizes, size_seqs):
+        repeat_seq, _bootstrap_seq = size_seq.spawn(2)
+        for repeat, seq in enumerate(
+            spawn_seed_sequences(repeat_seq, config.n_repeats)
+        ):
+            units.append(
+                WorkUnit(
+                    key=_panel_key(config, size, repeat),
+                    fn=_repeat_unit,
+                    seed=seq,
+                    payload=(data, size, config),
+                    weight=float(size),
+                )
+            )
+    return units
+
+
+def collect_german_credit(
+    config: GermanCreditConfig, results: dict
+) -> GermanCreditResult:
+    """Aggregate scheduled repeat outcomes into the panel's series.
+
+    Rebuilds the per-size bootstrap seeds from the config's seed tree (the
+    children are addressed by index, so re-spawning yields the same
+    sequences the serial loop uses) and aggregates repeats in trial order.
+    """
     size_seqs = spawn_seed_sequences(config.seed, len(config.sizes))
 
     ppfair_known: dict[str, dict[int, BootstrapResult]] = {a: {} for a in ALGORITHMS}
@@ -158,14 +198,11 @@ def run_german_credit(
     ndcg_out: dict[str, dict[int, BootstrapResult]] = {a: {} for a in ALGORITHMS}
 
     for size, size_seq in zip(config.sizes, size_seqs):
-        repeat_seq, bootstrap_seq = size_seq.spawn(2)
-        outcomes = run_trials(
-            _repeat_trial,
-            config.n_repeats,
-            seed=repeat_seq,
-            n_jobs=config.n_jobs,
-            payload=(data, size, config),
-        )
+        _repeat_seq, bootstrap_seq = size_seq.spawn(2)
+        outcomes = [
+            results[_panel_key(config, size, repeat)]
+            for repeat in range(config.n_repeats)
+        ]
 
         per_alg_known: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
         per_alg_unknown: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
@@ -209,16 +246,35 @@ def run_german_credit(
     )
 
 
-def _repeat_trial(
-    trial_index: int,
-    rng: np.random.Generator,
+def run_german_credit(
+    config: GermanCreditConfig = GermanCreditConfig(),
+    data: GermanCreditData | None = None,
+) -> GermanCreditResult:
+    """Run one (θ, σ) panel of the Section V-C comparison.
+
+    The ``(size, repeat)`` double loop flattens into one work unit per
+    repeat, scheduled through ``config.pool`` (or a private view on the
+    ``config.n_jobs``-sized shared pool): every repeat draws its stream
+    from its own seed child, so the panel is byte-identical for every
+    worker count under a fixed seed.  In a composite pipeline
+    (:func:`~repro.experiments.runner.run_all`) the same units interleave
+    with the other panels and figure experiments on one pool.
+    """
+    if data is None:
+        data = load_german_credit(seed=config.seed)
+    pool = pool_for(config.pool, config.n_jobs)
+    results = pool.run(german_credit_units(config, data))
+    return collect_german_credit(config, results)
+
+
+def _repeat_unit(
+    seed: np.random.SeedSequence,
     data: GermanCreditData,
     size: int,
     config: GermanCreditConfig,
 ) -> dict[str, tuple[float, float, float]] | None:
-    """Trial-pool adapter: one repeat of one panel size (pickled to workers)."""
-    del trial_index  # the repeat's stream comes entirely from ``rng``
-    return _one_repeat(data, size, config, rng)
+    """Work-unit adapter: one repeat of one panel size (pickled to workers)."""
+    return _one_repeat(data, size, config, np.random.default_rng(seed))
 
 
 def _one_repeat(

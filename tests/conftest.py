@@ -13,6 +13,20 @@ from repro.groups.attributes import GroupAssignment
 from repro.rankings.permutation import Ranking
 
 
+@pytest.fixture(autouse=True)
+def _reset_fanout_warnings():
+    """Wipe the declined-fan-out warning registry before every test.
+
+    The warn-once advisories in :mod:`repro.batch.parallel` are deduplicated
+    in a process-wide registry; without this reset, whichever test fires one
+    first would swallow the warning for every later test that legitimately
+    expects it.
+    """
+    from repro.batch import reset_warnings
+
+    reset_warnings()
+
+
 @pytest.fixture
 def rng():
     """A deterministic generator for test randomness."""

@@ -14,7 +14,10 @@ import numpy as np
 import pytest
 
 from repro.batch import (
+    effective_n_jobs,
+    in_worker,
     mallows_sample_and_score,
+    reset_warnings,
     resolve_n_jobs,
     run_trials,
     shard_row_ranges,
@@ -66,6 +69,28 @@ class TestSharding:
             resolve_n_jobs(0)
         with pytest.raises(ValueError):
             resolve_n_jobs(-2)
+
+    def test_effective_n_jobs_in_parent(self):
+        assert not in_worker()
+        assert effective_n_jobs(3) == 3
+        assert effective_n_jobs(-1) == resolve_n_jobs(-1)
+        with pytest.raises(ValueError):
+            effective_n_jobs(0)
+        with pytest.raises(ValueError):
+            effective_n_jobs(-2)
+
+    def test_effective_n_jobs_clamps_inside_worker(self, monkeypatch):
+        import repro.batch.parallel as parallel
+
+        monkeypatch.setattr(parallel, "_IN_WORKER", True)
+        assert parallel.in_worker()
+        assert effective_n_jobs(8) == 1
+        assert effective_n_jobs(-1) == 1
+        assert effective_n_jobs(1) == 1
+        with pytest.raises(ValueError):
+            effective_n_jobs(0)
+        with pytest.raises(ValueError):
+            effective_n_jobs(-2)
 
     def test_stream_slice_matches_full_draw(self):
         """The invariant the sharder is built on: an advanced PCG64 clone
@@ -167,10 +192,8 @@ class TestPipelineEquivalence:
             )
 
     def test_small_batch_warns_once_and_runs_inline(self, workload):
-        import repro.batch.parallel as parallel
-
         center, groups, constraints, _ = workload
-        parallel._small_batch_warned = False
+        reset_warnings()
         with pytest.warns(RuntimeWarning, match="single-process"):
             out = mallows_sample_and_score(
                 center, THETA, 50, groups=groups, constraints=constraints,
@@ -188,6 +211,13 @@ class TestPipelineEquivalence:
             mallows_sample_and_score(
                 center, THETA, 50, groups=groups, constraints=constraints,
                 seed=4, n_jobs=4,
+            )
+        # Resetting the registry re-arms the advisory.
+        reset_warnings()
+        with pytest.warns(RuntimeWarning, match="single-process"):
+            mallows_sample_and_score(
+                center, THETA, 50, groups=groups, constraints=constraints,
+                seed=5, n_jobs=4,
             )
 
     def test_empty_batch(self, workload):
@@ -213,6 +243,15 @@ def _payload_trial(trial_index, rng, offset, scale):
 def _stream_probe_trial(trial_index, rng):
     """Returns the trial's first three uniforms — the raw stream identity."""
     return rng.random(3).tolist()
+
+
+def _process_probe_trial(trial_index, rng):
+    """Returns which process ran the trial and what it may fan out to."""
+    import os
+
+    from repro.batch.parallel import effective_n_jobs, in_worker
+
+    return os.getpid(), in_worker(), effective_n_jobs(4)
 
 
 class TestTrialPool:
@@ -257,17 +296,34 @@ class TestTrialPool:
         with pytest.raises(ValueError):
             run_trials(_square_trial, 3, seed=0, n_jobs=0)
 
-    def test_fewer_trials_than_workers_warns_once_and_runs_inline(self):
-        import repro.batch.parallel as parallel
-
-        parallel._small_trials_warned = False
-        with pytest.warns(RuntimeWarning, match="inline"):
-            out = run_trials(_square_trial, 3, seed=5, n_jobs=8)
-        assert out == run_trials(_square_trial, 3, seed=5, n_jobs=1)
-        # Warned only once per process.
+    def test_fewer_trials_than_workers_clamps_instead_of_inlining(self):
+        """Regression for the inline fallback: n_trials < n_jobs must fan
+        out on min(n_jobs, n_trials) workers, silently and byte-identically
+        (heavy few-repeat loops were losing all parallelism)."""
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            run_trials(_square_trial, 2, seed=6, n_jobs=8)
+            out = run_trials(_process_probe_trial, 2, seed=5, n_jobs=3)
+        import os
+
+        pids = {pid for pid, _, _ in out}
+        assert os.getpid() not in pids  # really ran in pool children
+        assert all(flag for _, flag, _ in out)  # marked as workers
+        assert all(jobs == 1 for _, _, jobs in out)  # no nested pools
+
+    def test_clamped_fanout_matches_serial_streams(self):
+        a = run_trials(_stream_probe_trial, 3, seed=5, n_jobs=8)
+        b = run_trials(_stream_probe_trial, 3, seed=5, n_jobs=1)
+        assert a == b
+
+    def test_single_trial_warns_once_and_runs_inline(self):
+        reset_warnings()
+        with pytest.warns(RuntimeWarning, match="inline"):
+            out = run_trials(_square_trial, 1, seed=5, n_jobs=8)
+        assert out == run_trials(_square_trial, 1, seed=5, n_jobs=1)
+        # Warned only once per registry reset.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_trials(_square_trial, 1, seed=6, n_jobs=8)
 
 
 class TestExperimentEquivalence:

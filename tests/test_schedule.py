@@ -1,0 +1,175 @@
+"""Tests for the experiment-level work scheduler (:mod:`repro.batch.schedule`).
+
+The contract under test: a task graph of independent, seed-addressed work
+units produces the same key-ordered result mapping whether it runs inline,
+on a pool of any size, or submitted in any (weight-driven) order — and the
+composite ``run_all`` pipeline built on it is byte-identical for every
+worker count.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.batch import WorkerPool, WorkUnit, pool_for, run_units
+from repro.batch.schedule import _run_unit
+from repro.experiments.runner import reports_digest, run_all
+
+
+def _draw_unit(seed, count):
+    """Seeded unit: the raw stream identity of its SeedSequence."""
+    return np.random.default_rng(seed).random(count).tolist()
+
+
+def _const_unit(seed, value):
+    """Deterministic unit: no seed consumed."""
+    assert seed is None
+    return value
+
+
+def _pid_unit(seed):
+    from repro.batch.parallel import effective_n_jobs, in_worker
+
+    return os.getpid(), in_worker(), effective_n_jobs(6)
+
+
+def _boom_unit(seed):
+    raise RuntimeError("unit failure")
+
+
+def _units(n=6):
+    seqs = np.random.SeedSequence(77).spawn(n)
+    return [
+        WorkUnit(
+            key=("draw", i),
+            fn=_draw_unit,
+            seed=seqs[i],
+            payload=(3,),
+            # Deliberately inverted weights: the LPT submission order must
+            # never show in the result mapping.
+            weight=float(n - i),
+        )
+        for i in range(n)
+    ]
+
+
+class TestRunUnits:
+    def test_results_keyed_in_input_order(self):
+        units = _units()
+        out = run_units(units, n_jobs=2)
+        assert list(out) == [u.key for u in units]
+
+    def test_pooled_matches_inline(self):
+        units = _units()
+        inline = run_units(units, n_jobs=1)
+        for n_jobs in (2, 3):
+            assert run_units(units, n_jobs=n_jobs) == inline
+
+    def test_inline_matches_direct_invocation(self):
+        units = _units(3)
+        out = run_units(units, n_jobs=1)
+        for u in units:
+            assert out[u.key] == _run_unit(u.fn, u.seed, u.payload)
+
+    def test_seedless_units(self):
+        units = [
+            WorkUnit(key=i, fn=_const_unit, payload=(i * 10,)) for i in range(4)
+        ]
+        assert run_units(units, n_jobs=2) == {0: 0, 1: 10, 2: 20, 3: 30}
+
+    def test_empty_graph(self):
+        assert run_units([], n_jobs=4) == {}
+
+    def test_duplicate_keys_rejected(self):
+        units = [
+            WorkUnit(key="same", fn=_const_unit, payload=(1,)),
+            WorkUnit(key="same", fn=_const_unit, payload=(2,)),
+        ]
+        with pytest.raises(ValueError, match="duplicate work-unit key"):
+            run_units(units, n_jobs=1)
+
+    def test_single_unit_runs_inline(self):
+        (result,) = run_units(
+            [WorkUnit(key="solo", fn=_pid_unit)], n_jobs=4
+        ).values()
+        pid, worker, jobs = result
+        assert pid == os.getpid() and not worker
+
+    def test_pooled_units_marked_as_workers_and_unnested(self):
+        out = run_units(
+            [WorkUnit(key=i, fn=_pid_unit) for i in range(4)], n_jobs=2
+        )
+        for pid, worker, jobs in out.values():
+            assert pid != os.getpid()
+            assert worker
+            assert jobs == 1  # effective_n_jobs clamps inside pool children
+
+    def test_unit_error_propagates(self):
+        units = [WorkUnit(key="boom", fn=_boom_unit)] + _units(2)
+        with pytest.raises(RuntimeError, match="unit failure"):
+            run_units(units, n_jobs=2)
+        with pytest.raises(RuntimeError, match="unit failure"):
+            run_units(units, n_jobs=1)
+
+    def test_on_unit_done_reports_every_key_once(self):
+        units = _units(5)
+        for n_jobs in (1, 3):
+            done = []
+            run_units(units, n_jobs=n_jobs, on_unit_done=done.append)
+            assert sorted(done) == sorted(u.key for u in units)
+
+    def test_on_unit_done_inline_fires_in_input_order(self):
+        units = _units(4)
+        done = []
+        run_units(units, n_jobs=1, on_unit_done=done.append)
+        assert done == [u.key for u in units]
+
+
+class TestWorkerPool:
+    def test_pool_for_resolution(self):
+        shared = WorkerPool(3)
+        assert pool_for(shared, 1) is shared
+        assert pool_for(None, 4) == WorkerPool(4)
+
+    def test_handle_is_picklable_and_hashable(self):
+        pool = WorkerPool(2)
+        assert pickle.loads(pickle.dumps(pool)) == pool
+        assert hash(WorkerPool(2)) == hash(pool)
+
+    def test_run_delegates_to_scheduler(self):
+        units = _units(4)
+        assert WorkerPool(2).run(units) == run_units(units, n_jobs=1)
+
+    def test_run_trials_delegates_to_trial_pool(self):
+        from repro.batch import run_trials
+
+        out = WorkerPool(2).run_trials(_trial_probe, 4, seed=9)
+        assert out == run_trials(_trial_probe, 4, seed=9, n_jobs=1)
+
+
+def _trial_probe(trial_index, rng):
+    return trial_index, rng.random(2).tolist()
+
+
+class TestRunAllScheduler:
+    def test_run_all_digest_independent_of_n_jobs(self):
+        """The whole-pipeline byte-equality contract: panel-level,
+        figure-level, and trial-level units mixed through one pool must
+        reproduce the serial reports exactly, for every worker count."""
+        reports = run_all(fast=True, n_jobs=1)
+        digest = reports_digest(reports)
+        for n_jobs in (2, 4):
+            assert reports_digest(run_all(fast=True, n_jobs=n_jobs)) == digest
+
+    def test_run_all_accepts_shared_pool_handle(self):
+        serial = reports_digest(run_all(fast=True, n_jobs=1))
+        pooled = reports_digest(run_all(fast=True, pool=WorkerPool(2)))
+        assert pooled == serial
+
+    def test_reports_digest_is_order_and_content_sensitive(self):
+        a = {"x": "1", "y": "2"}
+        assert reports_digest(a) == reports_digest(dict(a))
+        assert reports_digest(a) != reports_digest({"x": "1", "y": "3"})
+        assert reports_digest(a) != reports_digest({"y": "2", "x": "1"})
