@@ -20,6 +20,8 @@ from __future__ import annotations
 import os
 import time
 
+import numpy as np
+
 from repro.batch import run_trials
 from repro.datasets.german_credit import synthesize_german_credit
 from repro.experiments.config import GermanCreditConfig
@@ -119,3 +121,90 @@ def test_heavy_trials_clamp_stays_parallel(fast_mode, report):
             f"clamped 5-trial fan-out only {speedup:.2f}x faster on "
             f"{cores} cores (required >= 1.5x; pre-clamp this ran inline)"
         )
+
+
+def test_warm_engine_beats_cold(fast_mode, report):
+    """Session ownership pays: a warm engine (forked workers, primed
+    kernel caches, learned costs) must serve a repeated identical batch
+    faster than the cold first pass, with byte-identical responses."""
+    from repro.batch.parallel import shutdown_workers
+    from repro.engine import RankingEngine, RankingRequest, responses_digest
+    from repro.algorithms.base import FairRankingProblem
+    from repro.fairness.constraints import FairnessConstraints
+    from repro.fairness.construction import weakly_fair_ranking
+
+    cores = os.cpu_count() or 1
+    data = synthesize_german_credit(seed=0)
+    rng = np.random.default_rng(5)
+    size = 100 if fast_mode else 200
+    sub = data.subsample(size, seed=rng)
+    constraints = FairnessConstraints.proportional(sub.age_sex)
+    base = weakly_fair_ranking(
+        sub.credit_amount, sub.age_sex, constraints, strong=False
+    )
+    problem = FairRankingProblem(
+        base_ranking=base,
+        scores=sub.credit_amount,
+        groups=sub.age_sex,
+        constraints=constraints,
+    )
+    requests = [
+        RankingRequest(name, problem, params=params)
+        for name, params in (
+            ("ipf", {}),
+            ("dp", {}),
+            ("detconstsort", {}),
+            ("mallows", {"theta": 0.5, "n_samples": 500}),
+        )
+    ] * (5 if fast_mode else 15)
+
+    shutdown_workers()  # a truly cold pool: workers fork on first use
+    engine = RankingEngine(n_jobs=2)
+
+    t0 = time.perf_counter()
+    cold = list(engine.rank_many(requests, seed=SEED))
+    cold_s = time.perf_counter() - t0
+
+    # The cold start happens once per session; the warm pass is the steady
+    # state, so time it as benchmarks time steady states (best of a few).
+    warm_s = float("inf")
+    for _ in range(2 if fast_mode else 3):
+        t0 = time.perf_counter()
+        warm = list(engine.rank_many(requests, seed=SEED))
+        warm_s = min(warm_s, time.perf_counter() - t0)
+
+    # Warmth must never change results.
+    assert responses_digest(warm) == responses_digest(cold)
+
+    # The session cache serves repeated identical requests: exercise the
+    # serial path so the parent-owned counters see the traffic.
+    serial = RankingEngine(n_jobs=1)
+    list(serial.rank_many(requests, seed=SEED))
+    stats = serial.stats()
+    assert stats.cache.hits > 0, stats.cache.summary()
+    assert 0.0 < stats.utilization <= 1.0
+
+    speedup = cold_s / warm_s
+    report(
+        "Engine — warm session vs cold start (repeated identical batch)",
+        (
+            f"{len(requests)} identical requests, n_jobs=2 "
+            f"({cores} cores available)\n"
+            f"cold engine : {cold_s * 1e3:9.1f} ms (fork + cold caches)\n"
+            f"warm engine : {warm_s * 1e3:9.1f} ms\n"
+            f"speedup     : {speedup:9.2f}x\n"
+            f"serial-path session: {stats.summary()}"
+        ),
+        metrics={
+            "cores": cores, "requests": len(requests), "cold_s": cold_s,
+            "warm_s": warm_s, "speedup": speedup,
+            "cache_hits": stats.cache.hits,
+            "utilization": stats.utilization,
+        },
+    )
+    # The cold pass pays the worker fork (hundreds of ms) on any machine;
+    # warmth must win outright.
+    assert warm_s < cold_s, (
+        f"warm engine ({warm_s * 1e3:.1f} ms) not faster than cold start "
+        f"({cold_s * 1e3:.1f} ms)"
+    )

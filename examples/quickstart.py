@@ -1,4 +1,5 @@
-"""Quickstart: make an unfair score-based ranking fairer with Mallows noise.
+"""Quickstart: make an unfair score-based ranking fairer with Mallows noise,
+served through the :class:`repro.engine.RankingEngine` facade.
 
 Run:  python examples/quickstart.py
 """
@@ -9,7 +10,8 @@ from repro import (
     FairnessConstraints,
     FairRankingProblem,
     GroupAssignment,
-    MallowsFairRanking,
+    RankingEngine,
+    RankingRequest,
     infeasible_index,
     ndcg,
 )
@@ -36,33 +38,59 @@ def main() -> None:
         infeasible_index(problem.base_ranking, groups, constraints),
     )
 
-    # The paper's Algorithm 1: sample 15 rankings from a Mallows
-    # distribution centred on the base ranking; keep the best by NDCG.
-    # Note the algorithm itself never looks at `groups`.
-    algorithm = MallowsFairRanking(theta=0.5, n_samples=15)
-    result = algorithm.rank(problem, seed=0)
-
-    print(f"\nMallows post-processed ({algorithm.name}):")
-    print(" order:", result.ranking.order.tolist())
-    print(" NDCG :", round(ndcg(result.ranking, scores), 4))
-    print(
-        " Infeasible Index:",
-        infeasible_index(result.ranking, groups, constraints),
+    # One engine session owns the worker pool and the kernel caches; every
+    # algorithm in the zoo is a registry name away.  The paper's
+    # Algorithm 1: sample 15 rankings from a Mallows distribution centred
+    # on the base ranking; keep the best by NDCG.  Note the algorithm
+    # itself never looks at `groups`.
+    engine = RankingEngine(n_jobs=1)
+    response = engine.rank(
+        "mallows", problem, seed=0, theta=0.5, n_samples=15
     )
 
-    # Sweep theta to see the fairness/efficiency trade-off.
-    print("\ntheta sweep (mean over 50 single samples):")
-    print(" theta |  NDCG  | Infeasible Index")
-    for theta in (0.1, 0.25, 0.5, 1.0, 2.0):
-        alg = MallowsFairRanking(theta, n_samples=1)
-        ndcgs, iis = [], []
-        for seed in range(50):
-            r = alg.rank(problem, seed=seed).ranking
-            ndcgs.append(ndcg(r, scores))
-            iis.append(infeasible_index(r, groups, constraints))
-        print(
-            f" {theta:5.2f} | {np.mean(ndcgs):.4f} | {np.mean(iis):5.2f}"
+    print(f"\nMallows post-processed ({response.metadata['algorithm_label']}):")
+    print(" order:", response.ranking.order.tolist())
+    print(" NDCG :", round(ndcg(response.ranking, scores), 4))
+    print(
+        " Infeasible Index:",
+        infeasible_index(response.ranking, groups, constraints),
+    )
+
+    # Sweep theta to see the fairness/efficiency trade-off.  The sweep is
+    # one streamed batch: every (theta, trial) pair becomes a request and
+    # the engine yields responses as they complete — byte-identical to a
+    # serial loop, whatever the session's worker count.
+    thetas = (0.1, 0.25, 0.5, 1.0, 2.0)
+    trials = 50
+    requests = [
+        RankingRequest(
+            "mallows",
+            problem,
+            params={"theta": theta, "n_samples": 1},
+            request_id=theta,
         )
+        for theta in thetas
+        for _ in range(trials)
+    ]
+    ndcgs: dict[float, list[float]] = {t: [] for t in thetas}
+    iis: dict[float, list[float]] = {t: [] for t in thetas}
+    for response in engine.rank_many(requests, seed=2024):
+        theta = response.request_id
+        ndcgs[theta].append(ndcg(response.ranking, scores))
+        iis[theta].append(
+            infeasible_index(response.ranking, groups, constraints)
+        )
+
+    print(f"\ntheta sweep (mean over {trials} single samples):")
+    print(" theta |  NDCG  | Infeasible Index")
+    for theta in thetas:
+        print(
+            f" {theta:5.2f} | {np.mean(ndcgs[theta]):.4f} "
+            f"| {np.mean(iis[theta]):5.2f}"
+        )
+
+    stats = engine.stats()
+    print(f"\nengine session: {stats.summary()}")
 
 
 if __name__ == "__main__":

@@ -4,21 +4,48 @@ Mareček, Fotakis; ICDE 2024).
 
 Quickstart
 ----------
+Serving goes through a :class:`~repro.engine.RankingEngine` session: it
+owns the worker pool, the kernel caches and the decode configuration for
+its lifetime, and names every algorithm in the zoo by a registry key
+(``"mallows"``, ``"gmm"``, ``"detconstsort"``, ``"ipf"``, ``"binary-ipf"``,
+``"ilp"``, ``"dp"``):
+
 >>> import numpy as np
->>> from repro import (FairRankingProblem, MallowsFairRanking,
-...                    GroupAssignment, FairnessConstraints)
+>>> from repro import FairRankingProblem, GroupAssignment, RankingEngine
 >>> scores = np.array([0.9, 0.8, 0.7, 0.6, 0.5, 0.4])
 >>> groups = GroupAssignment(["a", "a", "a", "b", "b", "b"])
 >>> problem = FairRankingProblem.from_scores(scores, groups)
->>> result = MallowsFairRanking(theta=1.0, n_samples=15).rank(problem, seed=0)
->>> len(result.ranking)
+>>> engine = RankingEngine(n_jobs=1)
+>>> response = engine.rank("mallows", problem, seed=0, theta=1.0, n_samples=15)
+>>> len(response.ranking)
 6
+
+Batches stream: :meth:`~repro.engine.RankingEngine.rank_many` flattens
+heterogeneous requests onto the shared scheduler and yields responses
+**as-completed**, byte-identical to the serial loop for every ``n_jobs``:
+
+>>> from repro import RankingRequest
+>>> requests = [
+...     RankingRequest("mallows", problem, params={"theta": 1.0}),
+...     ("dp", problem),
+... ]
+>>> responses = sorted(engine.rank_many(requests, seed=7), key=lambda r: r.index)
+>>> [r.algorithm for r in responses]
+['mallows', 'dp']
+
+(The one-algorithm class constructors — ``MallowsFairRanking(...)`` and
+friends — still work but are deprecated in favour of the engine registry;
+they produce byte-identical rankings.)
 
 The package layers:
 
 * :mod:`repro.rankings` — permutations, rank distances, NDCG;
+* :mod:`repro.engine` — the serving facade: the algorithm registry,
+  session-owned pools/caches, streaming batch ranking, measured-cost
+  scheduling;
 * :mod:`repro.batch` — the batched evaluation engine: ``(m, n)`` ranking
-  batches and vectorized distance/fairness kernels behind the experiments;
+  batches, vectorized distance/fairness kernels, the process-pool fan-out
+  and the work-unit scheduler underneath the serving facade;
 * :mod:`repro.groups` / :mod:`repro.fairness` — protected attributes,
   two-sided P-fairness, the Infeasible Index;
 * :mod:`repro.mallows` — the Mallows model, exact sampling, learning;
@@ -90,6 +117,15 @@ from repro.datasets import (
     synthesize_german_credit,
     two_group_shifted_scores,
 )
+from repro.engine import (
+    EngineConfig,
+    RankingEngine,
+    RankingRequest,
+    RankingResponse,
+    algorithm_names,
+    make_algorithm,
+    register_algorithm,
+)
 
 __version__ = "1.0.0"
 
@@ -141,6 +177,13 @@ __all__ = [
     "MinInfeasibleIndexCriterion",
     "CompositeCriterion",
     "FairAggregationPipeline",
+    "EngineConfig",
+    "RankingEngine",
+    "RankingRequest",
+    "RankingResponse",
+    "algorithm_names",
+    "make_algorithm",
+    "register_algorithm",
     "load_german_credit",
     "synthesize_german_credit",
     "two_group_shifted_scores",

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch.cache import active_cache
 from repro.algorithms.base import (
+    warn_legacy_constructor,
     FairRankingAlgorithm,
     FairRankingProblem,
     FairRankingResult,
@@ -33,6 +35,7 @@ class GrBinaryIPF(FairRankingAlgorithm):
     """Exact KT-optimal fair re-ranking for binary protected attributes."""
 
     def __init__(self):
+        warn_legacy_constructor("GrBinaryIPF", "binary-ipf")
         self.name = "gr-binary-ipf"
 
     def rank(self, problem: FairRankingProblem, seed: SeedLike = None) -> FairRankingResult:
@@ -54,7 +57,7 @@ class GrBinaryIPF(FairRankingAlgorithm):
             queues.append(members.tolist())
         heads = [0, 0]
         counts = np.zeros(2, dtype=np.int64)
-        lower_m, upper_m = constraints.count_bounds_matrix(n)
+        lower_m, upper_m = active_cache().count_bounds(constraints, n)
 
         order = np.empty(n, dtype=np.int64)
         for pos in range(n):

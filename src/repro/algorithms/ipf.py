@@ -22,7 +22,9 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from repro.batch.cache import active_cache
 from repro.algorithms.base import (
+    warn_legacy_constructor,
     FairRankingAlgorithm,
     FairRankingProblem,
     FairRankingResult,
@@ -55,7 +57,7 @@ def feasible_position_intervals(
     Returns two ``(n,)`` int arrays indexed by item.
     """
     n = groups.n_items
-    lower_m, upper_m = constraints.count_bounds_matrix(n)  # (n, g)
+    lower_m, upper_m = active_cache().count_bounds(constraints, n)  # (n, g)
     # A floor demanding more members than a group contains can never be
     # met — the per-member intervals below would silently ignore it.
     sizes = groups.group_sizes
@@ -98,6 +100,7 @@ class ApproxMultiValuedIPF(FairRankingAlgorithm):
     """
 
     def __init__(self, noise_sigma: float = 0.0):
+        warn_legacy_constructor("ApproxMultiValuedIPF", "ipf")
         if noise_sigma < 0:
             raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
         self.noise_sigma = float(noise_sigma)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch.cache import active_cache
 from repro.fairness.constraints import FairnessConstraints
 from repro.utils.rng import SeedLike, as_generator
 
@@ -34,7 +35,7 @@ def noisy_count_bounds(
     if sigma < 0:
         raise ValueError(f"sigma must be non-negative, got {sigma}")
     rng = as_generator(seed)
-    lower_m, upper_m = constraints.count_bounds_matrix(max_length)
+    lower_m, upper_m = active_cache().count_bounds(constraints, max_length)
     lower = lower_m.astype(np.float64)
     upper = upper_m.astype(np.float64)
     if sigma > 0:

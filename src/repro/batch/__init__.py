@@ -37,7 +37,13 @@ of the corresponding scalar function (same integers, same floats) and is
 tested for exact agreement.
 """
 
-from repro.batch.cache import DEFAULT_CACHE, CacheStats, KernelCache
+from repro.batch.cache import (
+    DEFAULT_CACHE,
+    CacheStats,
+    KernelCache,
+    active_cache,
+    use_cache,
+)
 from repro.batch.container import BatchRankings, as_batch_orders
 from repro.batch.kernels import (
     batch_cayley,
@@ -70,16 +76,25 @@ from repro.batch.parallel import (
     shard_row_ranges,
     shutdown_workers,
 )
-from repro.batch.schedule import WorkerPool, WorkUnit, pool_for, run_units
+from repro.batch.schedule import (
+    CompletedUnit,
+    WorkerPool,
+    WorkUnit,
+    iter_units,
+    pool_for,
+    run_units,
+)
 
 __all__ = [
     "BatchRankings",
     "CacheStats",
+    "CompletedUnit",
     "DEFAULT_CACHE",
     "KernelCache",
     "MallowsBatchScores",
     "WorkUnit",
     "WorkerPool",
+    "active_cache",
     "as_batch_orders",
     "batch_cayley",
     "batch_count_inversions",
@@ -100,6 +115,7 @@ __all__ = [
     "batch_weighted_kendall_tau",
     "effective_n_jobs",
     "in_worker",
+    "iter_units",
     "kendall_tau_matrix",
     "mallows_sample_and_score",
     "pool_for",
@@ -109,4 +125,5 @@ __all__ = [
     "run_units",
     "shard_row_ranges",
     "shutdown_workers",
+    "use_cache",
 ]

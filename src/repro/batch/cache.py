@@ -23,17 +23,22 @@ everything (counters included).
 
 A process-wide default instance, :data:`DEFAULT_CACHE`, is consulted by
 :func:`repro.batch.kernels.batch_violation_masks` and
-:func:`repro.mallows.marginals.position_marginals`; tests that need a cold
-path can call ``DEFAULT_CACHE.clear()`` or construct a private
-:class:`KernelCache`.
+:func:`repro.mallows.marginals.position_marginals` — *indirectly*, through
+:func:`active_cache`: a serving session (:class:`repro.engine.RankingEngine`)
+that owns a private :class:`KernelCache` installs it for the duration of a
+request via the :func:`use_cache` context manager, so its hit/miss counters
+and eviction budget are session-scoped rather than process-global.  Tests
+that need a cold path can call ``DEFAULT_CACHE.clear()`` or construct a
+private :class:`KernelCache`.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Hashable, Iterator
 
 import numpy as np
 
@@ -212,5 +217,36 @@ class KernelCache:
             )
 
 
-#: Process-wide cache consulted by the kernels and the marginal utilities.
+#: Process-wide cache consulted by the kernels and the marginal utilities
+#: whenever no session cache is installed (see :func:`active_cache`).
 DEFAULT_CACHE = KernelCache()
+
+#: The installed session cache, or ``None`` (fall back to DEFAULT_CACHE).
+#: Thread-local so two engine sessions serving from different threads do
+#: not see each other's tables.
+_ACTIVE = threading.local()
+
+
+def active_cache() -> KernelCache:
+    """The cache the kernels consult right now: the innermost
+    :func:`use_cache` installation, else :data:`DEFAULT_CACHE`."""
+    return getattr(_ACTIVE, "cache", None) or DEFAULT_CACHE
+
+
+@contextmanager
+def use_cache(cache: KernelCache) -> Iterator[KernelCache]:
+    """Install ``cache`` as the active kernel cache for the duration of the
+    ``with`` block (re-entrant; restores the previous installation on exit).
+
+    This is how a :class:`repro.engine.RankingEngine` scopes memoization to
+    its own session: kernels reached from inside the block read and fill
+    ``cache`` instead of the process-wide default.  The installation is
+    per-thread and does not propagate to pool worker processes (each worker
+    keeps its own process-wide default cache).
+    """
+    previous = getattr(_ACTIVE, "cache", None)
+    _ACTIVE.cache = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE.cache = previous

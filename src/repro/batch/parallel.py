@@ -74,24 +74,30 @@ if TYPE_CHECKING:  # lazy at runtime: repro.mallows.sampling imports repro.batch
 #: one-time RuntimeWarning flags the declined fan-out request).
 MIN_ROWS_PER_JOB = 128
 
-#: Keys of the declined-fan-out advisories that have already fired.  A
-#: registry (rather than one boolean per call site) so test runs can wipe it
-#: wholesale between cases — a module global that latches forever would both
-#: leak state across tests and swallow later legitimate warnings.
+#: Keys of the one-time advisories (declined fan-outs, deprecated
+#: constructors) that have already fired.  A registry (rather than one
+#: boolean per call site) so test runs can wipe it wholesale between cases —
+#: a module global that latches forever would both leak state across tests
+#: and swallow later legitimate warnings.
 _WARNED: set[str] = set()
 
 
 def reset_warnings() -> None:
-    """Forget which declined-fan-out advisories have fired, so the next
-    occurrence of each warns again (used by the shared pytest fixture)."""
+    """Forget which one-time advisories have fired, so the next occurrence
+    of each warns again (used by the shared pytest fixture)."""
     _WARNED.clear()
 
 
-def _warn_once(key: str, message: str) -> None:
+def _warn_once(
+    key: str,
+    message: str,
+    category: type[Warning] = RuntimeWarning,
+    stacklevel: int = 4,
+) -> None:
     if key in _WARNED:
         return
     _WARNED.add(key)
-    warnings.warn(message, RuntimeWarning, stacklevel=4)
+    warnings.warn(message, category, stacklevel=stacklevel)
 
 
 def _warn_small_batch(m: int, n_jobs: int) -> None:

@@ -31,6 +31,11 @@ Task-graph / seed-tree contract
   re-established per experiment.
 * :func:`run_units` returns ``{unit.key: result}`` in *input order*,
   whatever order the pool finished in.  Keys must be unique per call.
+  :func:`iter_units` is the streaming variant: it yields each
+  :class:`CompletedUnit` (result plus measured compute wall-time) **as it
+  finishes**, so a consumer can overlap aggregation or response delivery
+  with the tail of the schedule — the as-completed mode the serving engine
+  (:meth:`repro.engine.RankingEngine.rank_many`) is built on.
 * Units are submitted heaviest-``weight``-first (longest-processing-time
   order), so a late long-running panel repeat cannot serialize the tail of
   the schedule.  Weights only shape the schedule, never the results.
@@ -48,10 +53,11 @@ each experiment spinning up its own fan-out.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterable, Mapping
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -82,6 +88,12 @@ class WorkUnit:
         Extra positional arguments, pickled with the unit.
     weight:
         Relative cost estimate; heavier units are dispatched first.
+    kind:
+        Optional cost-class label shared by units expected to take similar
+        time (e.g. ``("gc", size)`` for every German Credit repeat at one
+        subsample size).  A :class:`repro.engine.costs.CostModel` keys its
+        measured wall-times by it, turning the static ``weight`` guesses
+        into learned dispatch weights.  ``None`` opts out of learning.
     """
 
     key: Hashable
@@ -89,6 +101,23 @@ class WorkUnit:
     seed: np.random.SeedSequence | None = None
     payload: tuple[Any, ...] = ()
     weight: float = 1.0
+    kind: Hashable | None = None
+
+
+@dataclass(frozen=True)
+class CompletedUnit:
+    """One finished work unit, as yielded by :func:`iter_units`.
+
+    ``seconds`` is the unit's measured compute wall-time — clocked inside
+    the executing process around ``fn`` itself, so pool queueing and result
+    pickling are excluded and the number is comparable between the inline
+    and pooled paths.
+    """
+
+    key: Hashable
+    result: Any
+    seconds: float
+    kind: Hashable | None = None
 
 
 def _run_unit(fn: Callable[..., Any], seed, payload: tuple[Any, ...]) -> Any:
@@ -96,11 +125,92 @@ def _run_unit(fn: Callable[..., Any], seed, payload: tuple[Any, ...]) -> Any:
     return fn(seed, *payload)
 
 
+def _run_unit_timed(
+    fn: Callable[..., Any], seed, payload: tuple[Any, ...]
+) -> tuple[Any, float]:
+    """Execute one unit and clock it (in the executing process)."""
+    t0 = time.perf_counter()
+    result = fn(seed, *payload)
+    return result, time.perf_counter() - t0
+
+
+def _check_unique_keys(units: list[WorkUnit]) -> None:
+    keys = [u.key for u in units]
+    if len(set(keys)) != len(keys):
+        seen: set[Hashable] = set()
+        dup = next(k for k in keys if k in seen or seen.add(k))
+        raise ValueError(f"duplicate work-unit key: {dup!r}")
+
+
+def iter_units(
+    units: Iterable[WorkUnit],
+    *,
+    n_jobs: int = 1,
+) -> Iterator[CompletedUnit]:
+    """Run every unit through the shared ``n_jobs`` pool, yielding each as a
+    :class:`CompletedUnit` **as it finishes** — the streaming twin of
+    :func:`run_units`.
+
+    With ``n_jobs=1`` (or inside a pool child, or for a single unit) the
+    units run inline and are yielded in input order; pooled, they arrive in
+    completion order.  Either way the *set* of ``(key, result)`` pairs is
+    identical, because every unit's output is a pure function of
+    ``(fn, seed, payload)`` — consumers that need input order collect into a
+    mapping (exactly what :func:`run_units` does), consumers that can act on
+    partial results (streaming response loops, live report rendering)
+    overlap their downstream work with the tail of the schedule.
+
+    If a unit raises, the failure propagates at the point of iteration and
+    every not-yet-started unit is cancelled.  Abandoning the iterator early
+    (``close()``/``break``) likewise cancels whatever has not started.
+    """
+    units = list(units)
+    _check_unique_keys(units)
+    n_jobs = effective_n_jobs(n_jobs)
+    if n_jobs == 1 or len(units) <= 1:
+        for u in units:
+            result, seconds = _run_unit_timed(u.fn, u.seed, u.payload)
+            yield CompletedUnit(
+                key=u.key, result=result, seconds=seconds, kind=u.kind
+            )
+        return
+
+    executor = _get_executor(n_jobs)
+    # Longest-processing-time dispatch: heaviest units enter the pool first
+    # (ties keep input order — sort is stable), so stragglers start early.
+    order = sorted(range(len(units)), key=lambda i: -units[i].weight)
+    futures: dict[int, Any] = {}
+    try:
+        for i in order:
+            futures[i] = executor.submit(
+                _run_unit_timed, units[i].fn, units[i].seed, units[i].payload
+            )
+        index_of = {future: i for i, future in futures.items()}
+        for future in as_completed(index_of):
+            result, seconds = future.result()  # re-raise a failure promptly
+            u = units[index_of[future]]
+            yield CompletedUnit(
+                key=u.key, result=result, seconds=seconds, kind=u.kind
+            )
+    except BrokenProcessPool:
+        _EXECUTORS.pop(n_jobs, None)
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    except BaseException:
+        # A unit failed, the caller was interrupted, or the consumer
+        # abandoned the stream: drop everything still queued so the shared
+        # pool doesn't grind on for results nobody will see.  Units already
+        # running finish their current work and the pool stays usable.
+        for future in futures.values():
+            future.cancel()
+        raise
+
+
 def run_units(
     units: Iterable[WorkUnit],
     *,
     n_jobs: int = 1,
-    on_unit_done: Callable[[Hashable], None] | None = None,
+    on_unit_done: Callable[[Hashable, float], None] | None = None,
 ) -> dict[Hashable, Any]:
     """Run every unit, interleaved through the shared ``n_jobs`` pool.
 
@@ -111,55 +221,22 @@ def run_units(
     ``(fn, seed, payload)``.
 
     ``on_unit_done`` (when given) is called in the parent with each unit's
-    key as that unit finishes — in completion order when pooled, in input
-    order inline — so callers can surface live progress; it must not
-    depend on results.  If any unit raises, the first failure (in
-    completion order) propagates and every not-yet-started unit is
-    cancelled rather than left running in the shared pool.
+    key and measured compute wall-time (seconds, clocked in the executing
+    process) as that unit finishes — in completion order when pooled, in
+    input order inline — so callers can surface live progress and feed
+    measured costs back into dispatch weights (see
+    :mod:`repro.engine.costs`); it must not depend on results.  If any unit
+    raises, the first failure (in completion order) propagates and every
+    not-yet-started unit is cancelled rather than left running in the
+    shared pool.
     """
     units = list(units)
-    keys = [u.key for u in units]
-    if len(set(keys)) != len(keys):
-        seen: set[Hashable] = set()
-        dup = next(k for k in keys if k in seen or seen.add(k))
-        raise ValueError(f"duplicate work-unit key: {dup!r}")
-    n_jobs = effective_n_jobs(n_jobs)
-    if n_jobs == 1 or len(units) <= 1:
-        results: dict[Hashable, Any] = {}
-        for u in units:
-            results[u.key] = _run_unit(u.fn, u.seed, u.payload)
-            if on_unit_done is not None:
-                on_unit_done(u.key)
-        return results
-
-    executor = _get_executor(n_jobs)
-    # Longest-processing-time dispatch: heaviest units enter the pool first
-    # (ties keep input order — sort is stable), so stragglers start early.
-    order = sorted(range(len(units)), key=lambda i: -units[i].weight)
-    futures: dict[int, Any] = {}
-    try:
-        for i in order:
-            futures[i] = executor.submit(
-                _run_unit, units[i].fn, units[i].seed, units[i].payload
-            )
-        index_of = {future: i for i, future in futures.items()}
-        for future in as_completed(index_of):
-            future.result()  # re-raise a unit failure promptly
-            if on_unit_done is not None:
-                on_unit_done(units[index_of[future]].key)
-        return {units[i].key: futures[i].result() for i in range(len(units))}
-    except BrokenProcessPool:
-        _EXECUTORS.pop(n_jobs, None)
-        executor.shutdown(wait=False, cancel_futures=True)
-        raise
-    except BaseException:
-        # A unit failed (or the caller was interrupted): drop everything
-        # still queued so the shared pool doesn't grind on for a result
-        # mapping nobody will see.  Units already running finish their
-        # current work and the pool stays usable.
-        for future in futures.values():
-            future.cancel()
-        raise
+    results: dict[Hashable, Any] = {}
+    for done in iter_units(units, n_jobs=n_jobs):
+        results[done.key] = done.result
+        if on_unit_done is not None:
+            on_unit_done(done.key, done.seconds)
+    return {u.key: results[u.key] for u in units}
 
 
 @dataclass(frozen=True)
@@ -180,10 +257,15 @@ class WorkerPool:
     def run(
         self,
         units: Iterable[WorkUnit],
-        on_unit_done: Callable[[Hashable], None] | None = None,
+        on_unit_done: Callable[[Hashable, float], None] | None = None,
     ) -> dict[Hashable, Any]:
         """Schedule ``units`` through this pool (see :func:`run_units`)."""
         return run_units(units, n_jobs=self.n_jobs, on_unit_done=on_unit_done)
+
+    def iter(self, units: Iterable[WorkUnit]) -> Iterator[CompletedUnit]:
+        """Stream ``units`` through this pool as they complete (see
+        :func:`iter_units`)."""
+        return iter_units(units, n_jobs=self.n_jobs)
 
     def run_trials(
         self,

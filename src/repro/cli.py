@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper artefact from a terminal.
+"""Command-line interface: regenerate any paper artefact, or serve a
+ranking request, from a terminal.
 
 Examples
 --------
@@ -8,22 +9,36 @@ Examples
     repro-fair-ranking fig1 --jobs 4
     repro-fair-ranking fig5 --theta 1 --sigma 1 --jobs 4
     repro-fair-ranking all --fast --jobs -1
+    repro-fair-ranking rank --algorithm mallows --scores scores.csv \\
+        --groups groups.csv --param theta=1.0 --param n_samples=15
+    repro-fair-ranking rank --list-algorithms
 
-``--jobs`` fans the experiments out across worker processes (``-1`` = all
-cores).  Each figure command schedules that experiment's own work units
-(figure cells, per-δ trial blocks, panel repeats) onto the shared pool;
-``all`` goes further and flattens *every* experiment into one task graph —
-the seven figures, Table I, and all four German Credit panels interleave
-through a single pool, so the full pipeline scales with the core count
-rather than with its widest inner loop.  Reports are byte-identical for
-every value.
+Every command runs through one :class:`~repro.engine.RankingEngine`
+session per invocation: ``--jobs`` sets the session's worker budget
+(``-1`` = all cores), the experiments schedule their work units (figure
+cells, per-δ trial blocks, panel repeats) through the session pool, and
+``all`` flattens *every* experiment into one task graph — the seven
+figures, Table I, and all four German Credit panels interleave through a
+single pool, so the full pipeline scales with the core count rather than
+with its widest inner loop.  Reports are byte-identical for every value.
+``rank`` serves the engine's algorithm registry directly: scores/groups
+from CSV files (or inline comma-separated values), algorithm parameters
+as ``--param key=value`` pairs, no Python required.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import os
 import sys
 
+from repro.engine import (
+    RankingEngine,
+    RankingRequest,
+    algorithm_spec,
+    iter_algorithm_specs,
+)
 from repro.experiments.config import (
     Fig1Config,
     Fig2Config,
@@ -87,6 +102,68 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         _add_jobs_flag(p)
 
+    p_rank = sub.add_parser(
+        "rank",
+        help=(
+            "serve one ranking request through the engine's algorithm "
+            "registry (no Python required)"
+        ),
+    )
+    p_rank.add_argument(
+        "--algorithm",
+        metavar="NAME",
+        default=None,
+        help="registry name (see --list-algorithms), e.g. mallows, dp, ipf",
+    )
+    p_rank.add_argument(
+        "--scores",
+        metavar="CSV",
+        default=None,
+        help=(
+            "item scores: a CSV file (one float per line, or one "
+            "comma-separated line) or an inline comma-separated list"
+        ),
+    )
+    p_rank.add_argument(
+        "--groups",
+        metavar="CSV",
+        default=None,
+        help=(
+            "protected-attribute labels, aligned with --scores (same "
+            "formats); optional for attribute-blind algorithms (mallows, "
+            "gmm)"
+        ),
+    )
+    p_rank.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "algorithm constructor parameter (repeatable), e.g. "
+            "--param theta=1.0 --param n_samples=15"
+        ),
+    )
+    p_rank.add_argument(
+        "--seed", type=int, default=0, help="seed of the request's stream"
+    )
+    p_rank.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="K",
+        help=(
+            "serve the request K times (independent seed children) as one "
+            "streamed rank_many batch; rankings print in completion order"
+        ),
+    )
+    p_rank.add_argument(
+        "--list-algorithms",
+        action="store_true",
+        help="list the registered algorithms and exit",
+    )
+    _add_jobs_flag(p_rank)
+
     p_all = sub.add_parser(
         "all",
         help=(
@@ -107,18 +184,125 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+def _parse_values(spec: str, what: str) -> list[str]:
+    """Raw string cells of ``spec``: a CSV file path, or an inline
+    comma-separated list (the serving path must not require files)."""
+    if os.path.exists(spec):
+        with open(spec, "r", encoding="utf-8") as fh:
+            cells = [
+                cell.strip()
+                for line in fh
+                for cell in line.replace("\t", ",").split(",")
+            ]
+    else:
+        cells = [cell.strip() for cell in spec.split(",")]
+    cells = [cell for cell in cells if cell]
+    if not cells:
+        raise SystemExit(f"--{what}: no values found in {spec!r}")
+    return cells
 
+
+def _parse_params(pairs: list[str]) -> dict:
+    """``KEY=VALUE`` pairs → constructor kwargs (literals where possible)."""
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            params[key] = value  # plain string (e.g. a label)
+    return params
+
+
+def _cmd_rank(args, engine: RankingEngine) -> int:
+    """The ``rank`` subcommand: serve requests from the registry."""
+    import numpy as np
+
+    from repro.algorithms.base import FairRankingProblem
+    from repro.fairness.infeasible_index import infeasible_index
+    from repro.groups.attributes import GroupAssignment
+    from repro.rankings.quality import ndcg
+
+    if args.list_algorithms:
+        for spec in iter_algorithm_specs():
+            attr = "" if spec.requires_protected_attribute else " [attribute-blind]"
+            print(f"{spec.name:14s} {spec.summary}{attr}")
+        return 0
+    if args.algorithm is None or args.scores is None:
+        raise SystemExit("rank requires --algorithm and --scores "
+                         "(or --list-algorithms)")
+    try:
+        spec = algorithm_spec(args.algorithm)
+    except KeyError as exc:
+        raise SystemExit(f"--algorithm: {exc.args[0]}")
+    if spec.requires_protected_attribute and args.groups is None:
+        raise SystemExit(
+            f"--algorithm {spec.name} requires the protected attribute: "
+            "pass --groups (attribute-blind algorithms are marked in "
+            "--list-algorithms)"
+        )
+    try:
+        scores = np.array([float(c) for c in _parse_values(args.scores, "scores")])
+    except ValueError as exc:
+        raise SystemExit(f"--scores: {exc}")
+    groups = None
+    if args.groups is not None:
+        labels = _parse_values(args.groups, "groups")
+        if len(labels) != scores.size:
+            raise SystemExit(
+                f"{len(labels)} group labels for {scores.size} scores"
+            )
+        groups = GroupAssignment(labels)
+    if args.repeat < 1:
+        raise SystemExit(f"--repeat must be >= 1, got {args.repeat}")
+
+    problem = FairRankingProblem.from_scores(scores, groups)
+    params = _parse_params(args.param)
+    requests = [
+        RankingRequest(
+            args.algorithm, problem, params=params, request_id=k
+        )
+        for k in range(args.repeat)
+    ]
+    for response in engine.rank_many(requests, seed=args.seed):
+        print(f"request {response.request_id}: "
+              f"{response.metadata.get('algorithm_label', response.algorithm)}")
+        print(" order:", response.ranking.order.tolist())
+        print(f" NDCG : {ndcg(response.ranking, scores):.4f}")
+        if groups is not None:
+            ii = infeasible_index(
+                response.ranking, groups, problem.require_constraints()
+            )
+            print(f" Infeasible Index: {ii}")
+    stats = engine.stats()
+    print(f"# engine: {stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    One :class:`~repro.engine.RankingEngine` session per invocation: its
+    pool handle is threaded through every experiment config, its measured
+    cost model schedules the task graph, and ``rank`` serves from its
+    registry.
+    """
+    args = _build_parser().parse_args(argv)
+    engine = RankingEngine(n_jobs=getattr(args, "jobs", 1))
+    pool = engine.pool
+
+    if args.command == "rank":
+        return _cmd_rank(args, engine)
     if args.command == "fig1":
-        print(run_fig1(Fig1Config(n_jobs=args.jobs)).to_text())
+        print(run_fig1(Fig1Config(n_jobs=pool.n_jobs, pool=pool)).to_text())
     elif args.command == "fig2":
-        print(run_fig2(Fig2Config(n_jobs=args.jobs)).to_text())
+        print(run_fig2(Fig2Config(n_jobs=pool.n_jobs, pool=pool)).to_text())
     elif args.command == "fig3":
-        print(run_fig34(Fig34Config(n_jobs=args.jobs)).to_text_fig3())
+        print(run_fig34(Fig34Config(n_jobs=pool.n_jobs, pool=pool)).to_text_fig3())
     elif args.command == "fig4":
-        print(run_fig34(Fig34Config(n_jobs=args.jobs)).to_text_fig4())
+        print(run_fig34(Fig34Config(n_jobs=pool.n_jobs, pool=pool)).to_text_fig4())
     elif args.command == "table1":
         print(run_table1())
     elif args.command in ("fig5", "fig6", "fig7"):
@@ -127,7 +311,8 @@ def main(argv: list[str] | None = None) -> int:
             noise_sigma=args.sigma,
             n_repeats=args.repeats,
             use_milp=args.milp,
-            n_jobs=args.jobs,
+            n_jobs=pool.n_jobs,
+            pool=pool,
         )
         result = run_german_credit(config)
         text = {
@@ -140,7 +325,7 @@ def main(argv: list[str] | None = None) -> int:
         reports = run_all(
             fast=args.fast,
             progress=lambda m: print(f"# {m}", file=sys.stderr),
-            n_jobs=args.jobs,
+            engine=engine,
         )
         for key, text in reports.items():
             print(f"\n===== {key} =====")

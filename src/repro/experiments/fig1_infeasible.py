@@ -118,6 +118,7 @@ def fig1_units(config: Fig1Config) -> list[WorkUnit]:
                     seed=seqs[idx],
                     payload=(target, theta, config),
                     weight=float(config.n_samples),
+                    kind=("fig1", "cell"),
                 )
             )
             idx += 1

@@ -108,6 +108,7 @@ def fig2_units(config: Fig2Config) -> list[WorkUnit]:
             seed=delta_seq,
             payload=(delta, config, groups, constraints),
             weight=float(config.n_trials),
+            kind=("fig2", "delta"),
         )
         for delta, delta_seq in zip(config.deltas, delta_seqs)
     ]

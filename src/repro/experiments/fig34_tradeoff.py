@@ -139,6 +139,7 @@ def fig34_units(config: Fig34Config) -> list[WorkUnit]:
             seed=seq,
             payload=(delta, config),
             weight=weight,
+            kind=("fig34", "delta"),
         )
         for delta, seq in zip(config.deltas, seqs)
     ]

@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.algorithms.base import FairRankingProblem
-from repro.algorithms.detconstsort import DetConstSort
 from repro.batch import (
     BatchRankings,
     WorkUnit,
@@ -34,10 +33,7 @@ from repro.batch import (
     batch_percent_fair,
     pool_for,
 )
-from repro.algorithms.dp import DpFairRanking
-from repro.algorithms.ilp import IlpFairRanking
-from repro.algorithms.ipf import ApproxMultiValuedIPF
-from repro.algorithms.mallows_postprocess import MallowsFairRanking
+from repro.engine.registry import make_algorithm
 from repro.datasets.german_credit import (
     GermanCreditData,
     load_german_credit,
@@ -177,6 +173,7 @@ def german_credit_units(
                     seed=seq,
                     payload=(data, size, config),
                     weight=float(size),
+                    kind=("gc", size),
                 )
             )
     return units
@@ -308,14 +305,16 @@ def _one_repeat(
     )
 
     sigma = config.noise_sigma
-    ilp_cls = IlpFairRanking if config.use_milp else DpFairRanking
+    ilp_name = "ilp" if config.use_milp else "dp"
     algorithms = {
-        "DetConstSort": DetConstSort(noise_sigma=sigma),
-        "ApproxMultiValuedIPF": ApproxMultiValuedIPF(noise_sigma=sigma),
-        "ILP": ilp_cls(noise_sigma=sigma),
-        "Mallows (1 sample)": MallowsFairRanking(config.theta, n_samples=1),
-        "Mallows (best of m)": MallowsFairRanking(
-            config.theta, n_samples=config.mallows_best_of
+        "DetConstSort": make_algorithm("detconstsort", noise_sigma=sigma),
+        "ApproxMultiValuedIPF": make_algorithm("ipf", noise_sigma=sigma),
+        "ILP": make_algorithm(ilp_name, noise_sigma=sigma),
+        "Mallows (1 sample)": make_algorithm(
+            "mallows", theta=config.theta, n_samples=1
+        ),
+        "Mallows (best of m)": make_algorithm(
+            "mallows", theta=config.theta, n_samples=config.mallows_best_of
         ),
     }
 

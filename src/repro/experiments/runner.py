@@ -18,10 +18,14 @@ from __future__ import annotations
 
 import hashlib
 from collections import Counter
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.batch import WorkUnit, pool_for
 from repro.batch.schedule import WorkerPool
+from repro.engine.costs import DEFAULT_COSTS, CostModel
+
+if TYPE_CHECKING:
+    from repro.engine import RankingEngine
 from repro.experiments.config import (
     Fig1Config,
     Fig2Config,
@@ -70,6 +74,8 @@ def run_all(
     progress: Callable[[str], None] | None = None,
     n_jobs: int = 1,
     pool: WorkerPool | None = None,
+    engine: "RankingEngine | None" = None,
+    costs: CostModel | None = None,
 ) -> dict[str, str]:
     """Run every experiment; returns ``{artefact id: text report}``.
 
@@ -93,9 +99,26 @@ def run_all(
         Optional pre-built :class:`~repro.batch.schedule.WorkerPool` handle
         (overrides ``n_jobs``); the same handle is threaded through every
         experiment config.
+    engine:
+        Optional :class:`~repro.engine.RankingEngine` session: its pool
+        handle and cost model take the place of ``pool``/``costs`` — the
+        CLI builds one engine per invocation and runs everything through
+        it.
+    costs:
+        The measured-cost table to schedule from and feed (defaults to the
+        process-wide :data:`~repro.engine.costs.DEFAULT_COSTS`).  Units
+        whose ``kind`` has been observed before — an earlier ``run_all``
+        in this process, or previous requests on the ``engine`` — are
+        dispatched by measured seconds instead of their static weight
+        guesses; every completed unit's wall-time is folded back in.
+        Weights shape only the dispatch order, never the reports.
     """
     say = progress or (lambda _msg: None)
+    if engine is not None:
+        pool = pool if pool is not None else engine.pool
+        costs = costs if costs is not None else engine.costs
     pool = pool_for(pool, n_jobs)
+    costs = costs if costs is not None else DEFAULT_COSTS
 
     fig1_cfg = (
         Fig1Config(n_samples=50, n_bootstrap=200, n_jobs=pool.n_jobs, pool=pool)
@@ -155,7 +178,14 @@ def run_all(
     _add(fig2_units(fig2_cfg), "fig2")
     _add(fig34_units(fig34_cfg), "fig3+fig4")
     _add(
-        [WorkUnit(key=("table1",), fn=_table1_unit, payload=(gc_data,))],
+        [
+            WorkUnit(
+                key=("table1",),
+                fn=_table1_unit,
+                payload=(gc_data,),
+                kind=("table1",),
+            )
+        ],
         "table1",
     )
     for (theta, sigma), cfg in zip(PANELS, panel_cfgs):
@@ -166,13 +196,18 @@ def run_all(
 
     pending = Counter(group_of.values())
 
-    def _on_unit_done(key) -> None:
+    def _on_unit_done(key, seconds: float) -> None:
+        costs.observe(kind_of[key], seconds)
         group = group_of[key]
         pending[group] -= 1
         if pending[group] == 0:
             say(f"{group} done")
 
-    results = pool.run(units, on_unit_done=_on_unit_done)
+    # Measured-cost dispatch: kinds observed before (an earlier run in this
+    # process, or the engine session's history) replace their static weight
+    # guesses with learned seconds.
+    kind_of = {unit.key: unit.kind for unit in units}
+    results = pool.run(costs.reweight(units), on_unit_done=_on_unit_done)
 
     reports: dict[str, str] = {}
     reports["fig1"] = collect_fig1(fig1_cfg, results).to_text()

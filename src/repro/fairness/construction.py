@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.batch.cache import active_cache
 from repro.exceptions import InfeasibleProblemError
 from repro.fairness.constraints import FairnessConstraints
 from repro.groups.attributes import GroupAssignment
@@ -76,7 +77,7 @@ def weakly_fair_ranking(
     heads = np.zeros(g, dtype=np.int64)
     sizes = np.array([q.size for q in queues], dtype=np.int64)
 
-    lower_m, upper_m = constraints.count_bounds_matrix(n)
+    lower_m, upper_m = active_cache().count_bounds(constraints, n)
     # Floors can never exceed what the groups can supply; demanding more
     # items than a group has is infeasible outright (strong mode).
     if strong and np.any(lower_m > sizes[None, :]):

@@ -37,12 +37,12 @@ def position_marginals(n: int, theta: float) -> np.ndarray:
     approaches the identity.
 
     The ``O(n³)`` computation is memoized per ``(n, theta)`` in
-    :data:`repro.batch.cache.DEFAULT_CACHE` (experiment loops sweep the same
-    θ grid over and over); the returned matrix is read-only.
+    the active :class:`repro.batch.cache.KernelCache` (experiment loops
+    sweep the same θ grid over and over); the returned matrix is read-only.
     """
-    from repro.batch.cache import DEFAULT_CACHE
+    from repro.batch.cache import active_cache
 
-    return DEFAULT_CACHE.position_marginals(n, theta)
+    return active_cache().position_marginals(n, theta)
 
 
 def _compute_position_marginals(n: int, theta: float) -> np.ndarray:

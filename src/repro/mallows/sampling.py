@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import math
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -212,6 +213,23 @@ def set_decode_crossover(n: int | None) -> None:
     if n < 1:
         raise ValueError(f"decode crossover must be >= 1, got {n}")
     _decode_crossover = int(n)
+
+
+@contextmanager
+def decode_override(n: int | None):
+    """Temporarily override the Fenwick dispatch threshold for the duration
+    of the ``with`` block (no-op when ``n`` is ``None``); the previous
+    threshold is restored on exit.  Like :func:`set_decode_crossover` this
+    only ever changes speed — the decodes agree bit for bit."""
+    if n is None:
+        yield
+        return
+    previous = decode_crossover()
+    set_decode_crossover(n)
+    try:
+        yield
+    finally:
+        set_decode_crossover(previous)
 
 
 def calibrate_decode_crossover(

@@ -66,3 +66,94 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Fig.7" in out
         assert "NDCG" in out
+
+
+class TestRankCommand:
+    """The serving subcommand built on the engine registry."""
+
+    def test_list_algorithms(self, capsys):
+        assert main(["rank", "--list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mallows", "detconstsort", "ipf", "binary-ipf", "dp"):
+            assert name in out
+
+    def test_inline_values(self, capsys):
+        assert main([
+            "rank", "--algorithm", "mallows",
+            "--scores", "0.9,0.8,0.7,0.6,0.5,0.4",
+            "--groups", "a,a,a,b,b,b",
+            "--param", "theta=1.0", "--param", "n_samples=5",
+            "--seed", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "order:" in out
+        assert "NDCG" in out
+        assert "Infeasible Index" in out
+
+    def test_csv_files_and_repeat_jobs(self, tmp_path, capsys):
+        scores = tmp_path / "scores.csv"
+        scores.write_text("0.9\n0.8\n0.7\n0.6\n0.5\n0.4\n")
+        groups = tmp_path / "groups.csv"
+        groups.write_text("a,a,a,b,b,b\n")
+        assert main([
+            "rank", "--algorithm", "dp",
+            "--scores", str(scores), "--groups", str(groups),
+            "--repeat", "3", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("order:") == 3
+
+    def test_repeat_matches_serial(self, capsys):
+        args = [
+            "rank", "--algorithm", "mallows",
+            "--scores", "0.9,0.8,0.7,0.6,0.5,0.4",
+            "--param", "theta=0.5",
+            "--repeat", "4", "--seed", "3",
+        ]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        pooled = capsys.readouterr().out
+        # as-completed printing may reorder blocks; the per-request lines
+        # themselves must agree exactly.
+        assert sorted(serial.splitlines()) == sorted(pooled.splitlines())
+
+    def test_attribute_blind_without_groups(self, capsys):
+        assert main([
+            "rank", "--algorithm", "mallows",
+            "--scores", "1.0,0.5,0.2",
+            "--param", "theta=2.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Infeasible Index" not in out
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["rank"])
+        with pytest.raises(SystemExit):
+            main(["rank", "--algorithm", "mallows"])
+
+    def test_group_requiring_algorithm_without_groups_rejected(self):
+        with pytest.raises(SystemExit, match="requires the protected"):
+            main(["rank", "--algorithm", "dp", "--scores", "1.0,0.5,0.2"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main([
+                "rank", "--algorithm", "nope",
+                "--scores", "1.0,0.5", "--groups", "a,b",
+            ])
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["rank", "--algorithm", "mallows", "--scores", "a,b"])
+        with pytest.raises(SystemExit):
+            main([
+                "rank", "--algorithm", "mallows",
+                "--scores", "1.0,0.5", "--groups", "a",
+            ])
+        with pytest.raises(SystemExit):
+            main([
+                "rank", "--algorithm", "mallows",
+                "--scores", "1.0,0.5", "--param", "theta",
+            ])

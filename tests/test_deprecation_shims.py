@@ -1,0 +1,125 @@
+"""Deprecation shims: legacy algorithm constructors keep working, warn
+exactly once (through the resettable warn-once registry), and produce
+byte-identical rankings to the engine registry path.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import suppress_legacy_warnings
+from repro.algorithms.binary_ipf import GrBinaryIPF
+from repro.algorithms.detconstsort import DetConstSort
+from repro.algorithms.dp import DpFairRanking
+from repro.algorithms.gmm_postprocess import GeneralizedMallowsFairRanking
+from repro.algorithms.ilp import IlpFairRanking
+from repro.algorithms.ipf import ApproxMultiValuedIPF
+from repro.algorithms.mallows_postprocess import MallowsFairRanking
+from repro.batch import reset_warnings
+from repro.engine import RankingEngine, RankingRequest, make_algorithm
+from repro.groups.attributes import GroupAssignment
+from repro.algorithms.base import FairRankingProblem
+
+#: (legacy class, registry name, constructor params) for the whole zoo.
+ZOO = [
+    (MallowsFairRanking, "mallows", {"theta": 1.0, "n_samples": 5}),
+    (GeneralizedMallowsFairRanking, "gmm", {"thetas": 1.0, "n_samples": 3}),
+    (DetConstSort, "detconstsort", {"noise_sigma": 0.0}),
+    (ApproxMultiValuedIPF, "ipf", {}),
+    (GrBinaryIPF, "binary-ipf", {}),
+    (IlpFairRanking, "ilp", {}),
+    (DpFairRanking, "dp", {}),
+]
+
+
+@pytest.fixture
+def problem():
+    groups = GroupAssignment(["a", "b", "a", "b", "a", "b"])
+    scores = np.array([0.95, 0.9, 0.7, 0.65, 0.45, 0.4])
+    return FairRankingProblem.from_scores(scores, groups)
+
+
+@pytest.mark.parametrize("cls,name,params", ZOO, ids=[z[1] for z in ZOO])
+class TestLegacyConstructorWarnsOnce:
+    def test_exactly_one_deprecation_warning(self, cls, name, params):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cls(**params)
+            cls(**params)  # second construction is deduplicated
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert cls.__name__ in message
+        assert f'"{name}"' in message
+
+    def test_reset_rearms_the_warning(self, cls, name, params):
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            cls(**params)
+        reset_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cls(**params)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_registry_path_is_silent(self, cls, name, params):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            alg = make_algorithm(name, **params)
+        assert isinstance(alg, cls)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_legacy_ranking_byte_identical_to_engine_path(
+        self, cls, name, params, problem
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = cls(**params).rank(problem, seed=11)
+        response = RankingEngine().rank(name, problem, seed=11, **params)
+        assert (legacy.ranking.order == response.ranking.order).all()
+        # And through the streamed batch path, same seed child semantics:
+        request = RankingRequest(name, problem, params=params, seed=11)
+        (streamed,) = RankingEngine().rank_many([request], seed=0)
+        assert (legacy.ranking.order == streamed.ranking.order).all()
+
+
+class TestSuppressionContext:
+    def test_suppression_is_scoped_and_reentrant(self):
+        reset_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with suppress_legacy_warnings():
+                with suppress_legacy_warnings():
+                    DpFairRanking()
+                DetConstSort()
+            GrBinaryIPF()  # outside: armed again
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "GrBinaryIPF" in str(deprecations[0].message)
+
+    def test_internal_experiment_path_is_silent(self):
+        """The experiments construct through the registry — a pipeline run
+        must not emit constructor deprecations."""
+        from repro.datasets.german_credit import synthesize_german_credit
+        from repro.experiments.config import GermanCreditConfig
+        from repro.experiments.german_credit_exp import _one_repeat
+
+        data = synthesize_german_credit(seed=0)
+        config = GermanCreditConfig(n_repeats=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _one_repeat(data, 20, config, np.random.default_rng(0))
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

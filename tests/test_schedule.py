@@ -13,7 +13,7 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.batch import WorkerPool, WorkUnit, pool_for, run_units
+from repro.batch import WorkerPool, WorkUnit, iter_units, pool_for, run_units
 from repro.batch.schedule import _run_unit
 from repro.experiments.runner import reports_digest, run_all
 
@@ -117,14 +117,81 @@ class TestRunUnits:
         units = _units(5)
         for n_jobs in (1, 3):
             done = []
-            run_units(units, n_jobs=n_jobs, on_unit_done=done.append)
+            run_units(
+                units,
+                n_jobs=n_jobs,
+                on_unit_done=lambda key, seconds: done.append(key),
+            )
             assert sorted(done) == sorted(u.key for u in units)
 
     def test_on_unit_done_inline_fires_in_input_order(self):
         units = _units(4)
         done = []
-        run_units(units, n_jobs=1, on_unit_done=done.append)
+        run_units(
+            units,
+            n_jobs=1,
+            on_unit_done=lambda key, seconds: done.append(key),
+        )
         assert done == [u.key for u in units]
+
+    def test_on_unit_done_reports_measured_seconds(self):
+        units = _units(3)
+        timings = {}
+        run_units(units, n_jobs=1, on_unit_done=timings.__setitem__)
+        assert set(timings) == {u.key for u in units}
+        assert all(s >= 0.0 for s in timings.values())
+
+
+class TestIterUnits:
+    def test_streamed_set_matches_run_units_for_every_n_jobs(self):
+        units = _units(6)
+        expected = run_units(units, n_jobs=1)
+        for n_jobs in (1, 2, 3):
+            completed = list(iter_units(units, n_jobs=n_jobs))
+            assert {c.key: c.result for c in completed} == expected
+
+    def test_inline_streams_in_input_order(self):
+        units = _units(4)
+        keys = [c.key for c in iter_units(units, n_jobs=1)]
+        assert keys == [u.key for u in units]
+
+    def test_completed_units_carry_seconds_and_kind(self):
+        units = [
+            WorkUnit(key=i, fn=_const_unit, payload=(i,), kind=("const",))
+            for i in range(3)
+        ]
+        for n_jobs in (1, 2):
+            for c in iter_units(units, n_jobs=n_jobs):
+                assert c.seconds >= 0.0
+                assert c.kind == ("const",)
+
+    def test_failure_propagates_at_iteration(self):
+        units = [WorkUnit(key="boom", fn=_boom_unit)] + _units(2)
+        for n_jobs in (1, 2):
+            with pytest.raises(RuntimeError, match="unit failure"):
+                list(iter_units(units, n_jobs=n_jobs))
+
+    def test_duplicate_keys_rejected(self):
+        units = [
+            WorkUnit(key="same", fn=_const_unit, payload=(1,)),
+            WorkUnit(key="same", fn=_const_unit, payload=(2,)),
+        ]
+        with pytest.raises(ValueError, match="duplicate work-unit key"):
+            list(iter_units(units, n_jobs=1))
+
+    def test_abandoning_the_stream_is_safe(self):
+        units = _units(6)
+        stream = iter_units(units, n_jobs=2)
+        first = next(stream)
+        stream.close()
+        assert first.key in {u.key for u in units}
+        # The shared pool must stay usable after an early close.
+        assert run_units(units, n_jobs=2) == run_units(units, n_jobs=1)
+
+    def test_pool_handle_iter_delegates(self):
+        units = _units(4)
+        completed = {c.key: c.result for c in WorkerPool(2).iter(units)}
+        assert completed == run_units(units, n_jobs=1)
 
 
 class TestWorkerPool:
