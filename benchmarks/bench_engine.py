@@ -21,6 +21,7 @@ from repro.datasets.german_credit import synthesize_german_credit
 from repro.engine import RankingEngine, RankingRequest, responses_digest
 from repro.fairness.constraints import FairnessConstraints
 from repro.fairness.construction import weakly_fair_ranking
+from repro.serve import percentile_summary
 
 SEED = 2024
 
@@ -101,6 +102,17 @@ def test_rank_many_streaming_fanout(fast_mode, report):
 
     stats = engine.stats()
     speedups = {n: serial_s / s for n, s in streamed_s.items()}
+    # Per-kind compute-latency percentiles (p50/p95/p99 of each request's
+    # measured wall-time), from the serial pass so queueing never pollutes
+    # the distribution — the numbers admission control prices against.
+    by_kind: dict[str, list[float]] = {}
+    for resp in serial:
+        label = f"rank:{resp.algorithm}:{resp.ranking.order.size}"
+        by_kind.setdefault(label, []).append(resp.seconds)
+    latency_percentiles = {
+        label: percentile_summary(samples)
+        for label, samples in sorted(by_kind.items())
+    }
     lines = [f"{len(requests)} mixed requests ({cores} cores available)"]
     lines.append(f"serial loop  : {serial_s * 1e3:9.1f} ms")
     for n_jobs, s in streamed_s.items():
@@ -109,6 +121,11 @@ def test_rank_many_streaming_fanout(fast_mode, report):
             f"({speedups[n_jobs]:.2f}x, byte-equal)"
         )
     lines.append(f"engine stats : {stats.summary()}")
+    for label, summary in latency_percentiles.items():
+        lines.append(
+            f"{label:24s} "
+            + "  ".join(f"{k}={v * 1e3:7.2f} ms" for k, v in summary.items())
+        )
     report(
         "Engine — rank_many streaming fan-out (mixed algorithm zoo)",
         "\n".join(lines),
@@ -121,6 +138,7 @@ def test_rank_many_streaming_fanout(fast_mode, report):
             "digest": digest,
             "utilization": stats.utilization,
             "cost_table": stats.cost_table,
+            "latency_percentiles": latency_percentiles,
         },
     )
     if not fast_mode and cores >= 4:

@@ -37,12 +37,25 @@ heterogeneous requests onto the shared scheduler and yields responses
 friends — still work but are deprecated in favour of the engine registry;
 they produce byte-identical rankings.)
 
+Concurrent clients go through the async tier in :mod:`repro.serve`:
+``AsyncRankingServer`` fronts one engine session, coalesces single
+``rank`` awaits landing inside a micro-batching window into one
+``rank_many`` dispatch, and prices admission with the session's learned
+per-kind cost model (queueing and then shedding load with a structured
+``ServerOverloaded`` once the in-flight budget is spent).  Responses stay
+byte-identical to the serial loop over the same submissions — see
+``examples/serving_async.py`` and the ``repro serve`` / ``repro
+bench-client`` CLI commands.
+
 The package layers:
 
 * :mod:`repro.rankings` — permutations, rank distances, NDCG;
 * :mod:`repro.engine` — the serving facade: the algorithm registry,
   session-owned pools/caches, streaming batch ranking, measured-cost
   scheduling;
+* :mod:`repro.serve` — the async serving tier over one engine session:
+  coalescing micro-batches, cost-priced admission control, per-request
+  deadlines/cancellation, and the synthetic load generator;
 * :mod:`repro.batch` — the batched evaluation engine: ``(m, n)`` ranking
   batches, vectorized distance/fairness kernels, the process-pool fan-out
   and the work-unit scheduler underneath the serving facade;

@@ -164,6 +164,86 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(p_rank)
 
+    def _add_serve_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--requests", type=int, default=64, metavar="N",
+            help="synthetic mixed-kind requests to serve (default 64)",
+        )
+        p.add_argument(
+            "--window", type=float, default=0.002, metavar="SECONDS",
+            help="micro-batching window: single rank calls arriving within "
+                 "it coalesce into one rank_many dispatch (default 0.002)",
+        )
+        p.add_argument(
+            "--max-batch", type=int, default=16, metavar="K",
+            help="hard cap per coalesced batch (a full batch dispatches "
+                 "before its window expires; default 16)",
+        )
+        p.add_argument(
+            "--budget", type=float, default=1.0, metavar="SECONDS",
+            help="in-flight admission budget in predicted seconds "
+                 "(default 1.0)",
+        )
+        p.add_argument(
+            "--queue-depth", type=int, default=128, metavar="N",
+            help="bounded admission queue; beyond it requests are rejected "
+                 "with ServerOverloaded (default 128)",
+        )
+        p.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="per-request deadline (default: none)",
+        )
+        p.add_argument(
+            "--warm-start", action="append", default=[], metavar="JSON",
+            help="BENCH_*.json trajectory file to warm-start the cost "
+                 "model from (repeatable); admission is priced by measured "
+                 "EWMAs before the first response",
+        )
+        p.add_argument(
+            "--seed", type=int, default=0,
+            help="root of the server's seed tree (default 0)",
+        )
+        _add_jobs_flag(p)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the async serving tier over one engine session: an "
+            "in-process AsyncRankingServer under a swarm of concurrent "
+            "clients, with coalescing micro-batches and cost-priced "
+            "admission control"
+        ),
+    )
+    _add_serve_flags(p_serve)
+    p_serve.add_argument(
+        "--verify-digest", action="store_true",
+        help="also run the same submissions through a serial loop and "
+             "assert the served responses digest byte-identically",
+    )
+
+    p_client = sub.add_parser(
+        "bench-client",
+        help=(
+            "load-generate against an in-process server and report "
+            "throughput + per-kind latency percentiles (optionally "
+            "comparing coalescing on vs off)"
+        ),
+    )
+    _add_serve_flags(p_client)
+    p_client.add_argument(
+        "--rate", type=float, default=None, metavar="REQ_PER_S",
+        help="open-loop arrival rate (default: one closed-loop burst)",
+    )
+    p_client.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="retry budget per request on ServerOverloaded (default 0)",
+    )
+    p_client.add_argument(
+        "--compare-coalescing", action="store_true",
+        help="run the same load twice — micro-batching on vs off "
+             "(max batch 1) — and print the throughput ratio",
+    )
+
     p_all = sub.add_parser(
         "all",
         help=(
@@ -281,6 +361,115 @@ def _cmd_rank(args, engine: RankingEngine) -> int:
     return 0
 
 
+def _serve_config(args):
+    """Shared ``serve``/``bench-client`` knobs → a ServeConfig."""
+    from repro.serve import ServeConfig
+
+    try:
+        return ServeConfig(
+            batch_window=args.window,
+            max_batch_size=args.max_batch,
+            max_queue_depth=args.queue_depth,
+            cost_budget=args.budget,
+            default_deadline=args.deadline,
+            seed=args.seed,
+            n_jobs=None,  # the engine session's budget (--jobs)
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _print_load_report(report, stats, prefix: str = "") -> None:
+    print(f"{prefix}{report.summary()}")
+    print(f"{prefix}server: {stats.summary()}")
+    for label, summary in stats.latency_percentiles().items():
+        rendered = ", ".join(
+            f"{name}={value * 1000.0:.2f}ms"
+            for name, value in summary.items()
+        )
+        print(f"{prefix}  {label}: {rendered}")
+
+
+def _cmd_serve(args, engine: RankingEngine) -> int:
+    """The ``serve`` subcommand: an in-process serving-tier session."""
+    import asyncio
+
+    from repro.engine import responses_digest
+    from repro.serve import AsyncRankingServer, run_load, synthetic_requests
+
+    if args.requests < 1:
+        raise SystemExit(f"--requests must be >= 1, got {args.requests}")
+    config = _serve_config(args)
+    for path in args.warm_start:
+        imported = engine.warm_start_costs(path)
+        print(f"# warm-started {imported} cost kinds from {path}",
+              file=sys.stderr)
+    requests = synthetic_requests(args.requests, seed=args.seed)
+
+    async def session():
+        async with AsyncRankingServer(engine, config) as server:
+            report = await run_load(server, requests)
+            return report, server.stats()
+
+    report, stats = asyncio.run(session())
+    _print_load_report(report, stats)
+    if args.verify_digest:
+        if report.served != len(requests):
+            raise SystemExit(
+                "digest verification needs every request served — relax "
+                "--budget/--queue-depth/--deadline"
+            )
+        with RankingEngine(n_jobs=1) as ref:
+            serial = responses_digest(
+                ref.rank_many(requests, seed=args.seed, n_jobs=1)
+            )
+        if report.digest() != serial:
+            raise SystemExit("digest mismatch: served != serial loop")
+        print(f"digest ok: {serial[:16]}… matches the serial loop")
+    return 0
+
+
+def _cmd_bench_client(args, engine: RankingEngine) -> int:
+    """The ``bench-client`` subcommand: a load generator with optional
+    coalescing-on/off comparison."""
+    import asyncio
+    from dataclasses import replace as _replace
+
+    from repro.serve import AsyncRankingServer, run_load, synthetic_requests
+
+    if args.requests < 1:
+        raise SystemExit(f"--requests must be >= 1, got {args.requests}")
+    config = _serve_config(args)
+    for path in args.warm_start:
+        engine.warm_start_costs(path)
+    requests = synthetic_requests(args.requests, seed=args.seed)
+
+    def run_once(cfg):
+        async def session():
+            async with AsyncRankingServer(engine, cfg) as server:
+                report = await run_load(
+                    server,
+                    requests,
+                    arrival_rate=args.rate,
+                    max_retries=args.retries,
+                )
+                return report, server.stats()
+
+        return asyncio.run(session())
+
+    report, stats = run_once(config)
+    _print_load_report(report, stats)
+    if args.compare_coalescing:
+        solo = _replace(config, max_batch_size=1, batch_window=0.0)
+        solo_report, solo_stats = run_once(solo)
+        _print_load_report(solo_report, solo_stats, prefix="[no-coalescing] ")
+        if solo_report.throughput > 0.0:
+            ratio = report.throughput / solo_report.throughput
+            print(f"coalescing speedup: {ratio:.2f}x "
+                  f"({stats.coalescing:.2f} requests/batch vs 1.00)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -295,6 +484,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "rank":
         return _cmd_rank(args, engine)
+    if args.command == "serve":
+        with engine:
+            return _cmd_serve(args, engine)
+    if args.command == "bench-client":
+        with engine:
+            return _cmd_bench_client(args, engine)
     if args.command == "fig1":
         print(run_fig1(Fig1Config(n_jobs=pool.n_jobs, pool=pool)).to_text())
     elif args.command == "fig2":

@@ -52,7 +52,13 @@ from repro.engine.core import (
     RankingResponse,
     responses_digest,
 )
-from repro.engine.costs import DEFAULT_COSTS, CostModel
+from repro.engine.costs import (
+    DEFAULT_COSTS,
+    CostModel,
+    kind_from_label,
+    kind_label,
+    load_bench_cost_tables,
+)
 from repro.engine.registry import (
     AlgorithmSpec,
     algorithm_names,
@@ -75,6 +81,9 @@ __all__ = [
     "algorithm_names",
     "algorithm_spec",
     "iter_algorithm_specs",
+    "kind_from_label",
+    "kind_label",
+    "load_bench_cost_tables",
     "make_algorithm",
     "register_algorithm",
     "responses_digest",

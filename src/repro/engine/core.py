@@ -36,10 +36,11 @@ the one-line check.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -47,7 +48,7 @@ from repro.algorithms.base import FairRankingAlgorithm, FairRankingProblem
 from repro.batch.cache import CacheStats, KernelCache, use_cache
 from repro.batch.parallel import resolve_n_jobs
 from repro.batch.schedule import WorkerPool, WorkUnit, iter_units
-from repro.engine.costs import CostModel
+from repro.engine.costs import CostModel, load_bench_cost_tables
 from repro.engine.registry import algorithm_spec, make_algorithm
 from repro.rankings.permutation import Ranking
 from repro.utils.rng import SeedLike, spawn_seed_sequences
@@ -249,6 +250,33 @@ def _rank_unit(
     metadata = dict(result.metadata)
     metadata.setdefault("algorithm_label", result.algorithm)
     return result.ranking, metadata
+
+
+def _rank_unit_guarded(
+    seed: np.random.SeedSequence | None,
+    name: str,
+    params: tuple[tuple[str, Any], ...],
+    problem: FairRankingProblem,
+    crossover: int | None,
+) -> tuple[bool, Any]:
+    """:func:`_rank_unit` with per-request error capture.
+
+    Returns ``(True, (ranking, metadata))`` on success and
+    ``(False, exception)`` on failure, so one poisoned request in a
+    coalesced batch surfaces to *its* waiter instead of tearing down the
+    whole stream (the serving tier's isolation requirement — see
+    :meth:`RankingEngine.rank_many_submit`).  Exceptions that cannot
+    survive the trip back through the pool's pickler are downgraded to a
+    picklable ``RuntimeError`` carrying their repr.
+    """
+    try:
+        return True, _rank_unit(seed, name, params, problem, crossover)
+    except Exception as exc:
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        return False, exc
 
 
 def responses_digest(responses: Iterable[RankingResponse]) -> str:
@@ -488,6 +516,19 @@ class RankingEngine:
         """
         self._require_open()
         resolved = [_as_request(obj, i) for i, obj in enumerate(requests)]
+        units = self._build_units(resolved, seed, fn=_rank_unit)
+        return self._stream(resolved, units, n_jobs)
+
+    def _build_units(
+        self,
+        resolved: list[RankingRequest],
+        seed: SeedLike,
+        *,
+        fn: Callable[..., Any],
+    ) -> list[WorkUnit]:
+        """One :class:`WorkUnit` per resolved request: seed child by
+        submission index, dispatch weight from the session's cost model
+        (so a warm-started table shapes the very first batch)."""
         children = spawn_seed_sequences(seed, len(resolved))
         units: list[WorkUnit] = []
         for i, request in enumerate(resolved):
@@ -496,7 +537,7 @@ class RankingEngine:
             units.append(
                 WorkUnit(
                     key=i,
-                    fn=_rank_unit,
+                    fn=fn,
                     seed=_request_seed(request, children[i]),
                     payload=(
                         spec.name,
@@ -508,7 +549,113 @@ class RankingEngine:
                     kind=kind,
                 )
             )
-        return self._stream(resolved, units, n_jobs)
+        return units
+
+    def rank_many_submit(
+        self,
+        requests: Sequence["RankingRequest | tuple[str, FairRankingProblem]"],
+        *,
+        seed: SeedLike = None,
+        n_jobs: int | None = None,
+        on_response: Callable[[RankingResponse], None],
+        on_error: Callable[[int, RankingRequest, Exception], None] | None = None,
+    ) -> int:
+        """Blocking callback drain of a batch — the async-friendly twin of
+        :meth:`rank_many`, built for a serving tier that runs the drain in
+        a worker thread and marshals each delivery onto its event loop.
+
+        Two differences from iterating :meth:`rank_many`:
+
+        * delivery is *pushed*: ``on_response(response)`` fires in this
+          thread as each request completes (never with the session cache
+          installed, so a callback's own kernel work stays out of the
+          session's counters);
+        * failures are *per-request*: each unit runs guarded in whichever
+          process executes it, so an algorithm raising poisons only its
+          own request — ``on_error(index, request, exception)`` fires for
+          exactly the affected submission and the rest of the batch keeps
+          streaming.  Without an ``on_error`` handler the first failure
+          re-raises (cancelling still-queued units), matching
+          :meth:`rank_many`.
+
+        Scheduler-level failures (a broken pool, a corrupted stream) are
+        not per-request and always raise.  Returns the number of
+        deliveries (responses plus errors).  Seeds, weights and the
+        byte-equality contract are identical to :meth:`rank_many` —
+        responses carry the same rankings in whatever order they finish.
+        """
+        self._require_open()
+        resolved = [_as_request(obj, i) for i, obj in enumerate(requests)]
+        units = self._build_units(resolved, seed, fn=_rank_unit_guarded)
+        jobs = self._config.n_jobs if n_jobs is None else n_jobs
+        self._batches_total += 1
+        delivered = 0
+        t0 = time.perf_counter()
+        stream = iter_units(units, n_jobs=jobs)
+        try:
+            while True:
+                with use_cache(self._cache):
+                    try:
+                        done = next(stream)
+                    except StopIteration:
+                        break
+                index = done.key
+                request = resolved[index]
+                ok, payload = done.result
+                self._busy_seconds += done.seconds
+                delivered += 1
+                if ok:
+                    ranking, metadata = payload
+                    self._requests_total += 1
+                    self._costs.observe(done.kind, done.seconds)
+                    on_response(
+                        RankingResponse(
+                            request_id=(
+                                request.request_id
+                                if request.request_id is not None
+                                else index
+                            ),
+                            index=index,
+                            algorithm=done.kind[1],
+                            ranking=ranking,
+                            metadata=metadata,
+                            seconds=done.seconds,
+                        )
+                    )
+                else:
+                    if on_error is None:
+                        raise payload
+                    on_error(index, request, payload)
+        finally:
+            stream.close()  # cancel still-queued units on early abandon
+            self._wall_seconds += time.perf_counter() - t0
+        return delivered
+
+    def warm_start_costs(
+        self,
+        source: "Mapping[str, Mapping[str, float]] | str | Iterable[str]",
+    ) -> int:
+        """Seed the session's cost model from a persisted table; returns
+        the number of kinds imported.
+
+        ``source`` may be a jsonable cost table (the
+        :meth:`~repro.engine.costs.CostModel.to_jsonable` rendering), one
+        ``BENCH_*.json`` trajectory path, or an iterable of such paths
+        (see :func:`~repro.engine.costs.load_bench_cost_tables`).  Kinds
+        this session has already measured are never clobbered.  With a
+        warm table, the *first* ``rank_many`` batch dispatches by
+        measured seconds instead of uniform guesses, and the serving
+        tier's admission control prices requests realistically before a
+        single response has been observed.
+        """
+        self._require_open()
+        if isinstance(source, Mapping):
+            table = source
+        elif isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+            table = load_bench_cost_tables(source)
+        else:
+            table = load_bench_cost_tables(*source)
+        return self._costs.merge_jsonable(table)
 
     def _stream(
         self,

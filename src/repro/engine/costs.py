@@ -10,7 +10,7 @@ exponentially-weighted moving average per ``unit.kind``, and the next
 schedule of the same kinds is dispatched by *seconds observed* instead of
 by guesswork.
 
-Two consumers:
+Three consumers:
 
 * :class:`repro.engine.RankingEngine` owns one model per session —
   repeated ``rank_many`` calls over similar request mixes converge onto
@@ -18,7 +18,12 @@ Two consumers:
 * :func:`repro.experiments.runner.run_all` observes into a process-wide
   :data:`DEFAULT_COSTS` table, so a second pipeline run in the same process
   schedules from the first run's measurements, and benchmark runs persist
-  the table into the ``BENCH_*.json`` perf trajectory.
+  the table into the ``BENCH_*.json`` perf trajectory;
+* the async serving tier (:mod:`repro.serve`) *prices admission* by the
+  same table: a request's predicted cost is its kind's EWMA seconds, so a
+  warm-started model (see :func:`load_bench_cost_tables` and
+  :meth:`CostModel.merge_jsonable`) shapes both dispatch order and
+  admit/queue/reject decisions from the very first batch.
 
 Weights only shape the dispatch order, never the results: whatever the
 model has (or has not) learned, output stays byte-identical.
@@ -26,6 +31,9 @@ model has (or has not) learned, output stays byte-identical.
 
 from __future__ import annotations
 
+import json
+import math
+import os
 import threading
 from dataclasses import replace
 from typing import Hashable, Iterable, Mapping
@@ -112,22 +120,60 @@ class CostModel:
         """The cost table with stringified kinds, for ``BENCH_*.json``
         persistence (kinds are tuples; JSON keys must be strings)."""
         return {
-            _kind_label(kind): {
+            kind_label(kind): {
                 "ewma_seconds": seconds,
                 "observations": count,
             }
             for kind, (seconds, count) in sorted(
-                self.snapshot().items(), key=lambda item: _kind_label(item[0])
+                self.snapshot().items(), key=lambda item: kind_label(item[0])
             )
         }
 
-    def merge(self, table: Mapping[Hashable, tuple[float, int]]) -> None:
+    def merge(self, table: Mapping[Hashable, tuple[float, int]]) -> int:
         """Seed the model from a prior :meth:`snapshot` (e.g. a persisted
-        trajectory); existing entries are kept in favour of the import."""
+        trajectory); returns the number of kinds imported.
+
+        A *learned* entry always wins over an import: merging never
+        clobbers an EWMA this model has measured itself.  Entries that
+        carry no usable measurement are skipped rather than imported —
+        a non-positive observation count (a zero-count entry is a row
+        without a single measurement behind it, so averaging against it
+        would be a divide-by-zero in disguise), or a negative/non-finite
+        EWMA.
+        """
+        imported = 0
         with self._lock:
             for kind, (seconds, count) in table.items():
-                self._seconds.setdefault(kind, float(seconds))
-                self._observations.setdefault(kind, int(count))
+                seconds = float(seconds)
+                count = int(count)
+                if count <= 0 or not math.isfinite(seconds) or seconds < 0.0:
+                    continue
+                if kind in self._seconds:
+                    continue
+                self._seconds[kind] = seconds
+                self._observations[kind] = count
+                imported += 1
+        return imported
+
+    def merge_jsonable(self, table: Mapping[str, Mapping[str, float]]) -> int:
+        """Seed the model from a :meth:`to_jsonable` rendering (the format
+        persisted into ``BENCH_*.json``); returns the kinds imported.
+
+        String keys are parsed back into tuple kinds via
+        :func:`kind_from_label`, so a table round-trips:
+        ``model.merge_jsonable(model.to_jsonable())`` restores every tuple
+        kind exactly.  Rows missing ``ewma_seconds``/``observations`` (or
+        carrying junk) are skipped by the same rules as :meth:`merge`.
+        """
+        parsed: dict[Hashable, tuple[float, int]] = {}
+        for label, entry in table.items():
+            try:
+                seconds = float(entry["ewma_seconds"])
+                count = int(entry["observations"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            parsed[kind_from_label(label)] = (seconds, count)
+        return self.merge(parsed)
 
     def clear(self) -> None:
         """Forget every observation."""
@@ -140,11 +186,65 @@ class CostModel:
             return len(self._seconds)
 
 
-def _kind_label(kind: Hashable) -> str:
-    """Human/JSON-friendly rendering of a unit kind."""
+def kind_label(kind: Hashable) -> str:
+    """Human/JSON-friendly rendering of a unit kind (tuples join on
+    ``":"``: ``("rank", "dp", 150)`` → ``"rank:dp:150"``)."""
     if isinstance(kind, tuple):
         return ":".join(str(part) for part in kind)
     return str(kind)
+
+
+def kind_from_label(label: str) -> Hashable:
+    """Inverse of :func:`kind_label` for tuple kinds: ``"rank:dp:150"`` →
+    ``("rank", "dp", 150)``.
+
+    Every label parses to a tuple (a single token becomes a 1-tuple),
+    because all the kinds the engine and the experiment pipeline emit are
+    tuples; all-digit parts come back as ``int`` so the engine's
+    ``("rank", name, n_items)`` kinds round-trip exactly.  Non-tuple
+    string kinds do not round-trip — they were never emitted by this
+    package.
+    """
+    return tuple(
+        int(part) if part.isdigit() else part for part in label.split(":")
+    )
+
+
+def load_bench_cost_tables(*paths: "str | os.PathLike[str]") -> dict[str, dict[str, float]]:
+    """Collect every persisted ``cost_table`` from ``BENCH_*.json``
+    trajectory files into one jsonable table.
+
+    The trajectory files are the ``--json`` dumps of the benchmark suite:
+    a list of ``reports`` whose ``metrics`` mappings may carry a
+    ``cost_table`` (the :meth:`CostModel.to_jsonable` rendering recorded
+    by the engine/scheduler benchmarks).  When several files (or several
+    reports) price the same kind, the entry with the most observations
+    wins — the better-estimated EWMA.  Missing files raise
+    ``FileNotFoundError``; files without any cost table contribute
+    nothing.  Feed the result to :meth:`CostModel.merge_jsonable` (or
+    :meth:`repro.engine.RankingEngine.warm_start_costs`) to warm-start a
+    model before its first batch.
+    """
+    merged: dict[str, dict[str, float]] = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        for report in payload.get("reports", []) or []:
+            metrics = report.get("metrics") or {}
+            table = metrics.get("cost_table")
+            if not isinstance(table, Mapping):
+                continue
+            for label, entry in table.items():
+                if not isinstance(entry, Mapping):
+                    continue
+                current = merged.get(label)
+                if (
+                    current is None
+                    or entry.get("observations", 0)
+                    > current.get("observations", 0)
+                ):
+                    merged[label] = dict(entry)
+    return merged
 
 
 #: Process-wide cost table the experiment pipeline feeds (engine sessions

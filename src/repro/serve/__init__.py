@@ -1,0 +1,66 @@
+"""repro.serve — the async serving tier over one engine session.
+
+An :class:`AsyncRankingServer` fronts a
+:class:`~repro.engine.RankingEngine` for many concurrent asyncio clients:
+single ``rank`` submissions arriving within a micro-batching window
+coalesce into one ``rank_many`` dispatch, admission is priced by the
+engine's learned cost model (admit / bounded queue / structured
+rejection), and per-request deadlines and cancellation drop work before
+it burns compute.  Responses stream back to their originating waiters as
+they complete, and — the tier's headline contract — the served responses
+digest byte-identically to a serial loop over the same submissions,
+whatever the coalescing or worker count.
+
+Layering (deterministic testability is the design driver):
+
+* :mod:`repro.serve.protocol` — config, errors, tickets, stats;
+* :mod:`repro.serve.admission` — cost-priced admit/queue/reject;
+* :mod:`repro.serve.batching` — the coalescing window;
+* :mod:`repro.serve.core` — the sans-IO semantics state machine
+  (explicit clocks; what the fake-clock harness drives);
+* :mod:`repro.serve.server` — the asyncio shell;
+* :mod:`repro.serve.loadgen` — synthetic request streams + client swarm.
+"""
+
+from repro.serve.admission import AdmissionPolicy, Decision
+from repro.serve.batching import MicroBatcher
+from repro.serve.core import ServerCore
+from repro.serve.loadgen import (
+    LoadReport,
+    run_load,
+    synthetic_problems,
+    synthetic_requests,
+)
+from repro.serve.protocol import (
+    DeadlineExceeded,
+    ServeConfig,
+    ServeError,
+    ServeStats,
+    ServerClosed,
+    ServerOverloaded,
+    Ticket,
+    Waiter,
+    percentile_summary,
+)
+from repro.serve.server import AsyncRankingServer
+
+__all__ = [
+    "AdmissionPolicy",
+    "AsyncRankingServer",
+    "Decision",
+    "DeadlineExceeded",
+    "LoadReport",
+    "MicroBatcher",
+    "percentile_summary",
+    "run_load",
+    "ServeConfig",
+    "ServeError",
+    "ServeStats",
+    "ServerClosed",
+    "ServerCore",
+    "ServerOverloaded",
+    "synthetic_problems",
+    "synthetic_requests",
+    "Ticket",
+    "Waiter",
+]

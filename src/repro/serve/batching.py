@@ -1,0 +1,108 @@
+"""The coalescing micro-batch window.
+
+Single ``rank`` submissions arriving close together are worth far more to
+the engine as one ``rank_many`` call: one scheduler pass, one pool
+round-trip per worker instead of per request, shared kernel-cache warmth.
+:class:`MicroBatcher` is the little state machine that decides *which*
+requests ride together:
+
+* the first admitted request **opens** a batch and starts its window;
+* every admission within ``window`` seconds of the open joins it;
+* the batch **closes** when the window expires, when it reaches
+  ``max_batch_size`` (a full batch never waits), or when the server
+  force-flushes (shutdown drain);
+* closed batches sit in a due list until the server collects them for
+  dispatch.
+
+Time never comes from a clock here — every method takes ``now`` — so the
+exact production coalescing semantics run under the deterministic
+fake-clock test harness without a single real sleep.
+"""
+
+from __future__ import annotations
+
+from repro.serve.protocol import Ticket
+
+
+class MicroBatcher:
+    """Window-and-cap coalescing of admitted tickets (see module doc)."""
+
+    def __init__(self, window: float, max_batch_size: int):
+        if window < 0.0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        self.window = float(window)
+        self.max_batch_size = int(max_batch_size)
+        self._open: list[Ticket] = []
+        self._flush_at: float | None = None
+        self._due: list[list[Ticket]] = []
+
+    def __len__(self) -> int:
+        """Tickets currently held (open window + closed-but-uncollected)."""
+        return len(self._open) + sum(len(b) for b in self._due)
+
+    def add(self, ticket: Ticket, now: float) -> None:
+        """Admit ``ticket`` into the open batch (opening one at ``now`` if
+        none is open); a batch reaching ``max_batch_size`` closes
+        immediately."""
+        if not self._open:
+            self._flush_at = now + self.window
+        self._open.append(ticket)
+        if len(self._open) >= self.max_batch_size:
+            self._close()
+
+    def remove(self, ticket: Ticket) -> bool:
+        """Drop ``ticket`` from the open window or a due batch (deadline
+        expiry / cancellation before dispatch); ``True`` if it was held.
+
+        An emptied open window resets so the next admission starts a
+        fresh window; an emptied due batch simply disappears.
+        """
+        if ticket in self._open:
+            self._open.remove(ticket)
+            if not self._open:
+                self._flush_at = None
+            return True
+        for batch in self._due:
+            if ticket in batch:
+                batch.remove(ticket)
+                if not batch:
+                    self._due.remove(batch)
+                return True
+        return False
+
+    def next_flush_at(self) -> float | None:
+        """When the open window expires — ``None`` without an open batch.
+
+        Closed batches are already collectable; they need no timer.
+        """
+        if self._due:
+            return float("-inf")  # collectable immediately
+        return self._flush_at
+
+    def collect_due(self, now: float) -> list[list[Ticket]]:
+        """Every batch ready to dispatch at ``now``: all closed batches,
+        plus the open one if its window has expired."""
+        if self._flush_at is not None and now >= self._flush_at:
+            self._close()
+        due, self._due = self._due, []
+        return [batch for batch in due if batch]
+
+    def flush_all(self) -> list[list[Ticket]]:
+        """Close and collect everything regardless of windows (shutdown
+        drain, or a closed server with no reason to keep waiting)."""
+        self._close()
+        due, self._due = self._due, []
+        return [batch for batch in due if batch]
+
+    def _close(self) -> None:
+        if self._open:
+            self._due.append(self._open)
+            self._open = []
+        self._flush_at = None
+
+
+__all__ = ["MicroBatcher"]

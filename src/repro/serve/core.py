@@ -1,0 +1,362 @@
+"""The serving-tier semantics core — synchronous, clock-free, loop-free.
+
+:class:`ServerCore` owns every decision the async server makes — admission
+pricing, queueing, micro-batch coalescing, deadline expiry, cancellation,
+budget accounting — as a plain state machine whose methods take explicit
+``now`` timestamps and return work to do.  The asyncio shell
+(:class:`repro.serve.server.AsyncRankingServer`) is reduced to plumbing:
+translate loop time into these calls, run dispatched batches on the
+engine, and marshal completions back in.
+
+This sans-IO split is what the deterministic test harness exploits: the
+*production* semantics — the same object, not a test double — run under a
+fake clock with inline engine drains, so batching-window coalescing,
+max-batch cutoff, deadline expiry, queue-full rejection, and client
+cancellation are all tested without a single real sleep.
+
+Determinism contract
+--------------------
+Server-wide submission ``i`` derives its seed from child ``i`` of the
+config's seed root — exactly the rule
+:meth:`repro.engine.RankingEngine.rank_many` applies to a batch — and
+delivered responses are re-indexed by submission order.  However requests
+coalesce into micro-batches, then, :func:`responses_digest` over the
+served responses is byte-identical to one big ``rank_many`` (or the
+serial loop) over the same submissions, for every ``n_jobs``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import replace
+from typing import Any
+
+import numpy as np
+
+from repro.engine.core import RankingRequest, RankingResponse
+from repro.engine.registry import algorithm_spec
+from repro.serve.admission import AdmissionPolicy, Decision
+from repro.serve.batching import MicroBatcher
+from repro.serve.protocol import (
+    BATCHED,
+    DISPATCHED,
+    QUEUED,
+    RETIRED,
+    DeadlineExceeded,
+    ServeConfig,
+    ServeStats,
+    ServerClosed,
+    ServerOverloaded,
+    Ticket,
+    Waiter,
+)
+
+
+class ServerCore:
+    """Admission + coalescing + deadline state machine over one engine.
+
+    Single-owner: every method must be called from one scheduling context
+    (the event loop thread, or a test driver).  Time is always passed in;
+    the core never reads a clock, never sleeps, never spawns anything.
+    """
+
+    def __init__(self, engine, config: ServeConfig | None = None):
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig()
+        self.policy = AdmissionPolicy(
+            engine.costs,
+            cost_budget=self.config.cost_budget,
+            default_cost=self.config.default_cost,
+            max_queue_depth=self.config.max_queue_depth,
+        )
+        self.batcher = MicroBatcher(
+            self.config.batch_window, self.config.max_batch_size
+        )
+        self.stats = ServeStats()
+        self._queue: deque[Ticket] = deque()
+        self._live: set[Ticket] = set()
+        self._seed_root = (
+            self.config.seed
+            if isinstance(self.config.seed, np.random.SeedSequence)
+            else np.random.SeedSequence(self.config.seed)
+        )
+        self._next_index = 0
+        self._closed = False
+
+    # -- intake ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def live(self) -> int:
+        """Unretired submissions (queued + batched + dispatched)."""
+        return len(self._live)
+
+    def close(self) -> None:
+        """Stop accepting submissions (already-accepted work continues)."""
+        self._closed = True
+
+    def submit(
+        self,
+        request: RankingRequest,
+        *,
+        now: float,
+        waiter: Waiter,
+        deadline: float | None = None,
+    ) -> Ticket:
+        """Price and admit one submission.
+
+        Raises :class:`ServerClosed` on a closed server,
+        :class:`ServerOverloaded` when neither budget nor queue can take
+        the request, and ``KeyError`` for an unknown algorithm (eagerly —
+        a bad name must not burn a batch slot).  Otherwise returns the
+        live ticket; the caller delivers via ``waiter``.
+        """
+        if self._closed:
+            raise ServerClosed("the server is stopped and accepts no requests")
+        if deadline is None:
+            deadline = self.config.default_deadline
+        if deadline is not None and not deadline > 0.0:
+            raise ValueError(f"deadline must be > 0 or None, got {deadline}")
+        spec = algorithm_spec(request.algorithm)  # eager validation
+
+        # Seed tree: submission i takes child i of the server's root —
+        # spawned unconditionally so pinned-seed requests do not shift
+        # their neighbours' streams — matching rank_many's per-index rule.
+        index = self._next_index
+        self._next_index += 1
+        child = self._seed_root.spawn(1)[0]
+        if request.seed is None:
+            request = replace(request, seed=child)
+
+        kind = ("rank", spec.name, request.problem.n_items)
+        cost = self.policy.predict(kind)
+        ticket = Ticket(
+            index=index,
+            request=request,
+            kind=kind,
+            cost=cost,
+            waiter=waiter,
+            submitted_at=now,
+            deadline_at=None if deadline is None else now + deadline,
+        )
+        self.stats.submitted += 1
+
+        decision = self.policy.decide(cost, len(self._queue))
+        if decision is Decision.REJECT:
+            self.stats.rejected += 1
+            raise ServerOverloaded(
+                predicted_cost=cost,
+                inflight_cost=self.policy.inflight_cost,
+                cost_budget=self.policy.cost_budget,
+                queue_depth=len(self._queue),
+                max_queue_depth=self.policy.max_queue_depth,
+            )
+        if decision is Decision.ADMIT:
+            self._admit(ticket, now)
+            self.stats.admitted += 1
+        else:
+            self._queue.append(ticket)
+            self.stats.queued += 1
+        self._live.add(ticket)
+        return ticket
+
+    def _admit(self, ticket: Ticket, now: float) -> None:
+        self.policy.acquire(ticket.cost)
+        ticket.state = BATCHED
+        self.batcher.add(ticket, now)
+
+    # -- the scheduling tick --------------------------------------------------
+
+    def poll(self, now: float) -> list[list[Ticket]]:
+        """One scheduling tick: expire deadlines, promote queued tickets
+        into freed budget, and collect every micro-batch due for
+        dispatch (window expired, batch full, or — on a closed server —
+        everything pending, since nothing new can join a window).
+
+        Returned batches are already marked dispatched; the caller must
+        run each through the engine and feed completions back via
+        :meth:`on_response` / :meth:`on_request_error` /
+        :meth:`on_batch_aborted`.
+        """
+        self._expire(now)
+        self._promote(now)
+        batches = (
+            self.batcher.flush_all()
+            if self._closed
+            else self.batcher.collect_due(now)
+        )
+        for batch in batches:
+            self.stats.dispatched_batches += 1
+            self.stats.dispatched_requests += len(batch)
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            for ticket in batch:
+                ticket.state = DISPATCHED
+        return batches
+
+    def next_event_at(self) -> float | None:
+        """Earliest instant the core needs a tick: the open window's
+        flush, or the nearest live deadline.  ``None`` = nothing timed
+        pending (ticks still happen on submissions and completions)."""
+        candidates = []
+        flush_at = self.batcher.next_flush_at()
+        if flush_at is not None:
+            candidates.append(flush_at)
+        for ticket in self._live:
+            if ticket.deadline_at is not None and not ticket.settled:
+                candidates.append(ticket.deadline_at)
+        return min(candidates) if candidates else None
+
+    def _expire(self, now: float) -> None:
+        for ticket in list(self._live):
+            if (
+                ticket.settled
+                or ticket.deadline_at is None
+                or now < ticket.deadline_at
+            ):
+                continue
+            dispatched = ticket.state == DISPATCHED
+            self._settle(
+                ticket,
+                error=DeadlineExceeded(
+                    request_id=ticket.request_id,
+                    deadline=ticket.deadline_at - ticket.submitted_at,
+                    dispatched=dispatched,
+                ),
+            )
+            if dispatched:
+                # The engine is still chewing this request: its budget
+                # share stays charged until the work actually finishes.
+                self.stats.expired_after_dispatch += 1
+            else:
+                self.stats.expired_before_dispatch += 1
+                self._drop_pending(ticket)
+
+    def _promote(self, now: float) -> None:
+        while self._queue and self.policy.can_admit(self._queue[0].cost):
+            ticket = self._queue.popleft()
+            self._admit(ticket, now)
+            self.stats.promoted += 1
+
+    # -- client-side events ---------------------------------------------------
+
+    def cancel(self, ticket: Ticket, now: float) -> None:
+        """The client abandoned its wait.  Before dispatch the ticket is
+        dropped outright; after dispatch the in-flight compute finishes
+        in the background and its late result is discarded."""
+        if ticket.settled or ticket.state == RETIRED:
+            return
+        ticket.settled = True  # waiter is already cancelled client-side
+        if ticket.state == DISPATCHED:
+            self.stats.cancelled_after_dispatch += 1
+        else:
+            self.stats.cancelled_before_dispatch += 1
+            self._drop_pending(ticket)
+
+    # -- engine-side events ---------------------------------------------------
+
+    def on_response(
+        self, ticket: Ticket, response: RankingResponse, now: float
+    ) -> None:
+        """One dispatched request finished: deliver (unless the waiter
+        already expired/cancelled), account latency, release budget."""
+        if ticket not in self._live:
+            return
+        if not ticket.settled:
+            self._settle(
+                ticket,
+                result=replace(
+                    response,
+                    index=ticket.index,
+                    request_id=ticket.request_id,
+                ),
+            )
+            self.stats.completed += 1
+            self.stats.observe_latency(ticket.kind, now - ticket.submitted_at)
+        self._retire(ticket)
+
+    def on_request_error(
+        self, ticket: Ticket, error: BaseException, now: float
+    ) -> None:
+        """One dispatched request failed in the engine: the error surfaces
+        to exactly this waiter; batchmates are untouched."""
+        if ticket not in self._live:
+            return
+        if not ticket.settled:
+            self._settle(ticket, error=error)
+            self.stats.failed += 1
+        self._retire(ticket)
+
+    def on_batch_aborted(
+        self, batch: list[Ticket], error: BaseException, now: float
+    ) -> None:
+        """The whole drain died (broken pool, scheduler failure): fail
+        every still-unresolved ticket of the batch."""
+        for ticket in batch:
+            if ticket not in self._live:
+                continue
+            if not ticket.settled:
+                self._settle(ticket, error=error)
+                self.stats.failed += 1
+            self._retire(ticket)
+
+    # -- shutdown -------------------------------------------------------------
+
+    def abort_pending(self, error: BaseException, now: float) -> list[Ticket]:
+        """Fail every not-yet-dispatched ticket (non-drain shutdown);
+        returns the aborted tickets.  Dispatched work is left to finish —
+        compute cannot be yanked out of the pool."""
+        aborted = []
+        for ticket in list(self._live):
+            if ticket.state not in (QUEUED, BATCHED):
+                continue
+            if not ticket.settled:
+                self._settle(ticket, error=error)
+                self.stats.failed += 1
+            self._drop_pending(ticket)
+            aborted.append(ticket)
+        return aborted
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _settle(
+        self,
+        ticket: Ticket,
+        *,
+        result: RankingResponse | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        ticket.settled = True
+        waiter = ticket.waiter
+        if waiter.done() or waiter.cancelled():
+            return
+        if error is not None:
+            waiter.set_exception(error)
+        else:
+            waiter.set_result(result)
+
+    def _drop_pending(self, ticket: Ticket) -> None:
+        """Remove a never-dispatched ticket from wherever it waits, give
+        back its budget share if it had one, and retire it."""
+        if ticket.state == QUEUED:
+            try:
+                self._queue.remove(ticket)
+            except ValueError:
+                pass
+        elif ticket.state == BATCHED:
+            self.batcher.remove(ticket)
+            self.policy.release(ticket.cost)
+        ticket.state = RETIRED
+        self._live.discard(ticket)
+
+    def _retire(self, ticket: Ticket) -> None:
+        """Account the end of a dispatched ticket's compute."""
+        if ticket.state == DISPATCHED:
+            self.policy.release(ticket.cost)
+        ticket.state = RETIRED
+        self._live.discard(ticket)
+
+
+__all__ = ["ServerCore"]

@@ -1,0 +1,216 @@
+"""Synthetic load generation for the serving tier.
+
+Two pieces, shared by ``repro bench-client``, ``benchmarks/bench_serve.py``
+and the serving tests:
+
+* :func:`synthetic_requests` — a reproducible mixed-kind request stream
+  (per-problem Mallows / DP / IPF / DetConstSort over small weakly-fair
+  instances), sized so a load test exercises heterogeneous cost kinds
+  without dominating wall-time;
+* :func:`run_load` — an asyncio client swarm: every request becomes one
+  concurrent client task against an :class:`AsyncRankingServer`, with an
+  optional open-loop arrival rate; outcomes (served / rejected / expired)
+  are folded into a :class:`LoadReport` with per-kind latency percentiles
+  and the response digest, so callers can assert the determinism contract
+  straight off a load run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import FairRankingProblem, GroupAssignment
+from repro.engine.core import RankingRequest, RankingResponse, responses_digest
+from repro.serve.protocol import (
+    DeadlineExceeded,
+    ServerOverloaded,
+    percentile_summary,
+)
+from repro.serve.server import AsyncRankingServer
+from repro.utils.rng import SeedLike
+
+
+def synthetic_problems(
+    n_problems: int,
+    *,
+    sizes: Sequence[int] = (24, 40),
+    n_groups: int = 3,
+    seed: SeedLike = 0,
+) -> list[FairRankingProblem]:
+    """``n_problems`` small weakly-heterogeneous instances: random scores,
+    round-robin-ish random groups, proportional constraints."""
+    rng = np.random.default_rng(seed)
+    problems = []
+    for p in range(n_problems):
+        n_items = int(sizes[p % len(sizes)])
+        scores = rng.uniform(0.0, 1.0, size=n_items)
+        labels = rng.integers(0, n_groups, size=n_items)
+        # Every group must be inhabited for proportional constraints.
+        labels[:n_groups] = np.arange(n_groups)
+        groups = GroupAssignment([f"g{g}" for g in labels])
+        problems.append(FairRankingProblem.from_scores(scores, groups))
+    return problems
+
+
+def synthetic_requests(
+    n_requests: int,
+    *,
+    sizes: Sequence[int] = (24, 40),
+    n_groups: int = 3,
+    seed: SeedLike = 0,
+    algorithms: Sequence[tuple[str, dict]] = (
+        ("mallows", {"theta": 0.7, "n_samples": 400}),
+        ("dp", {}),
+        ("ipf", {}),
+        ("detconstsort", {}),
+    ),
+) -> list[RankingRequest]:
+    """A reproducible mixed-kind stream of ``n_requests`` requests.
+
+    Requests cycle through ``algorithms`` over a pool of
+    ``ceil(n_requests / len(algorithms))`` synthetic problems, so both the
+    algorithm mix and the problem-size mix vary along the stream — the
+    shape admission pricing has to cope with.
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    n_problems = -(-n_requests // len(algorithms))
+    problems = synthetic_problems(
+        n_problems, sizes=sizes, n_groups=n_groups, seed=seed
+    )
+    requests = []
+    for i in range(n_requests):
+        name, params = algorithms[i % len(algorithms)]
+        problem = problems[(i // len(algorithms)) % len(problems)]
+        requests.append(
+            RankingRequest(
+                name, problem, params=dict(params), request_id=f"{name}#{i}"
+            )
+        )
+    return requests
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` swarm."""
+
+    n_requests: int
+    elapsed: float
+    responses: list[RankingResponse] = field(default_factory=list)
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+    errors: list[BaseException] = field(default_factory=list)
+
+    @property
+    def served(self) -> int:
+        return len(self.responses)
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per wall second."""
+        return self.served / self.elapsed if self.elapsed > 0.0 else 0.0
+
+    def digest(self) -> str:
+        """Order-independent digest of the served responses — comparable
+        against a serial ``rank_many`` over the same request stream."""
+        return responses_digest(self.responses)
+
+    def latency_percentiles(self) -> dict[str, dict[str, float]]:
+        """Per-algorithm client-side latency percentiles (seconds)."""
+        samples: dict[str, list[float]] = {}
+        for response in self.responses:
+            samples.setdefault(response.algorithm, []).append(
+                response.metadata.get("serve_latency", float("nan"))
+            )
+        return {
+            name: percentile_summary(vals)
+            for name, vals in sorted(samples.items())
+            if not np.isnan(vals).any()
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.served}/{self.n_requests} served in {self.elapsed:.3f}s "
+            f"({self.throughput:.1f} req/s), {self.rejected} rejected, "
+            f"{self.expired} expired, {self.failed} failed"
+        )
+
+
+async def run_load(
+    server: AsyncRankingServer,
+    requests: Sequence[RankingRequest],
+    *,
+    arrival_rate: float | None = None,
+    deadline: float | None = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.01,
+) -> LoadReport:
+    """Fire ``requests`` at ``server`` as one concurrent client swarm.
+
+    ``arrival_rate`` (requests/second) paces submissions open-loop;
+    ``None`` releases the whole swarm at once (closed-loop burst).
+    :class:`ServerOverloaded` rejections retry up to ``max_retries`` times
+    with linear backoff, then count as rejected; deadline expiries and
+    engine-side failures are counted, never raised — a load run reports,
+    it does not crash.
+    """
+    loop = asyncio.get_running_loop()
+    report = LoadReport(n_requests=len(requests), elapsed=0.0)
+    lock = asyncio.Lock()
+
+    async def one_client(request: RankingRequest, delay: float) -> None:
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        attempt = 0
+        while True:
+            sent_at = loop.time()
+            try:
+                response = await server.submit(request, deadline=deadline)
+            except ServerOverloaded:
+                attempt += 1
+                if attempt > max_retries:
+                    async with lock:
+                        report.rejected += 1
+                    return
+                await asyncio.sleep(retry_backoff * attempt)
+                continue
+            except DeadlineExceeded:
+                async with lock:
+                    report.expired += 1
+                return
+            except Exception as exc:
+                async with lock:
+                    report.failed += 1
+                    report.errors.append(exc)
+                return
+            response.metadata["serve_latency"] = loop.time() - sent_at
+            async with lock:
+                report.responses.append(response)
+            return
+
+    started = loop.time()
+    clients = [
+        asyncio.ensure_future(
+            one_client(
+                request,
+                0.0 if arrival_rate is None else i / arrival_rate,
+            )
+        )
+        for i, request in enumerate(requests)
+    ]
+    await asyncio.gather(*clients)
+    report.elapsed = loop.time() - started
+    return report
+
+
+__all__ = [
+    "LoadReport",
+    "run_load",
+    "synthetic_problems",
+    "synthetic_requests",
+]

@@ -1,0 +1,324 @@
+"""The asyncio serving shell: :class:`AsyncRankingServer`.
+
+The shell owns exactly the things the semantics core
+(:class:`~repro.serve.core.ServerCore`) refuses to: an event loop, one
+timer, one dispatcher task, and one worker thread that drains coalesced
+batches through the engine's blocking
+:meth:`~repro.engine.RankingEngine.rank_many_submit` hook.  Every
+decision — admit/queue/reject, window flush, deadline expiry,
+cancellation, budget accounting — is delegated to the core with the
+loop's clock, so the shell stays a thin, auditable adapter:
+
+* ``submit()`` hands the core a fresh ``asyncio.Future`` waiter and
+  awaits it; client-side ``cancel()`` of that await is forwarded to the
+  core (dropped pre-dispatch, discarded post-dispatch);
+* one ``call_later`` timer tracks ``core.next_event_at()`` (window
+  flushes and deadline expiries); submissions and completions tick the
+  core via ``call_soon``;
+* dispatched batches queue onto a single dispatcher task that runs them
+  **one at a time** in a private one-thread executor — the engine
+  session is a shared resource, and its internal ``n_jobs`` pool is the
+  parallelism, not concurrent drains;
+* engine completions are marshalled back with
+  ``call_soon_threadsafe``, so core state is only ever touched from the
+  loop thread.
+
+Shutdown is leak-free by construction: ``stop()`` drains (or aborts)
+every ticket, retires the dispatcher task, and joins the executor — the
+CI smoke lane asserts no stray tasks or threads survive it.
+
+Example
+-------
+::
+
+    engine = RankingEngine(n_jobs=4)
+    engine.warm_start_costs("BENCH_PR6.json")   # price admission from day 0
+    async with AsyncRankingServer(engine, batch_window=0.002) as server:
+        response = await server.rank("mallows", problem, theta=1.0)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any
+
+from repro.algorithms.base import FairRankingProblem
+from repro.engine.core import RankingEngine, RankingRequest, RankingResponse
+from repro.serve.core import ServerCore
+from repro.serve.protocol import (
+    ServeConfig,
+    ServeStats,
+    ServerClosed,
+    Ticket,
+)
+from repro.utils.rng import SeedLike
+
+
+class AsyncRankingServer:
+    """An asyncio serving tier fronting one :class:`RankingEngine` session.
+
+    Parameters
+    ----------
+    engine:
+        The engine session to serve from (owns workers, caches, and the
+        cost model that prices admission).
+    config:
+        A :class:`~repro.serve.protocol.ServeConfig`; keyword overrides
+        may be passed instead of (or on top of) it, e.g.
+        ``AsyncRankingServer(engine, batch_window=0.005)``.
+    """
+
+    def __init__(
+        self,
+        engine: RankingEngine,
+        config: ServeConfig | None = None,
+        **overrides,
+    ):
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self._engine = engine
+        self._config = config
+        self._core: ServerCore | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._dispatch_queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._timer: asyncio.TimerHandle | None = None
+        self._poll_handle: asyncio.Handle | None = None
+        self._idle: asyncio.Event | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def engine(self) -> RankingEngine:
+        return self._engine
+
+    @property
+    def config(self) -> ServeConfig:
+        return self._config
+
+    @property
+    def started(self) -> bool:
+        return self._core is not None
+
+    def stats(self) -> ServeStats:
+        """The live counter object (see
+        :class:`~repro.serve.protocol.ServeStats`)."""
+        if self._core is None:
+            raise RuntimeError("the server has not been started")
+        return self._core.stats
+
+    async def start(self) -> "AsyncRankingServer":
+        """Bind to the running loop and start the dispatcher."""
+        if self._core is not None:
+            raise RuntimeError("the server is already started")
+        self._loop = asyncio.get_running_loop()
+        self._core = ServerCore(self._engine, self._config)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._dispatch_queue = asyncio.Queue()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._dispatcher = self._loop.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatcher"
+        )
+        return self
+
+    async def __aenter__(self) -> "AsyncRankingServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the server, leak-free.
+
+        ``drain=True`` (default) serves everything already accepted —
+        pending windows flush immediately (nothing new can join them) and
+        queued requests promote as budget frees.  ``drain=False`` fails
+        every not-yet-dispatched request with
+        :class:`~repro.serve.protocol.ServerClosed`; work already in the
+        engine still runs to completion (compute cannot be yanked from a
+        process pool) and is delivered if its waiter survives.
+        """
+        if self._core is None:
+            return
+        core, loop = self._core, self._loop
+        core.close()
+        if not drain:
+            core.abort_pending(
+                ServerClosed("the server was stopped without draining"),
+                loop.time(),
+            )
+        # A closed core flushes pending windows on the next tick.
+        self._schedule_poll()
+        await self._idle.wait()
+        await self._dispatch_queue.put(None)
+        await self._dispatcher
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._poll_handle is not None:
+            self._poll_handle.cancel()
+            self._poll_handle = None
+        self._executor.shutdown(wait=True)
+        self._core = None
+        self._dispatcher = None
+        self._dispatch_queue = None
+        self._executor = None
+        self._loop = None
+        self._idle = None
+
+    # -- the client surface ---------------------------------------------------
+
+    async def submit(
+        self, request: RankingRequest, *, deadline: float | None = None
+    ) -> RankingResponse:
+        """Serve one request through the tier.
+
+        Coalesces with concurrent submissions inside the batching window,
+        subject to cost-priced admission — raises
+        :class:`~repro.serve.protocol.ServerOverloaded` immediately when
+        shedding load, :class:`~repro.serve.protocol.DeadlineExceeded`
+        when ``deadline`` (or the config default) expires first, and the
+        request's own engine-side exception if its algorithm fails.
+        Cancelling the returned awaitable drops an undispatched request
+        from the queue/window; a dispatched one finishes in the
+        background and its result is discarded.
+        """
+        if self._core is None:
+            raise RuntimeError("the server has not been started")
+        waiter: asyncio.Future = self._loop.create_future()
+        ticket = self._core.submit(
+            request, now=self._loop.time(), waiter=waiter, deadline=deadline
+        )
+        self._idle.clear()
+        self._schedule_poll()
+        try:
+            return await waiter
+        except asyncio.CancelledError:
+            self._core.cancel(ticket, self._loop.time())
+            self._schedule_poll()
+            self._update_idle()
+            raise
+
+    async def rank(
+        self,
+        algorithm: str,
+        problem: FairRankingProblem,
+        *,
+        deadline: float | None = None,
+        seed: SeedLike = None,
+        request_id: Any = None,
+        **params,
+    ) -> RankingResponse:
+        """Inline-form convenience over :meth:`submit` (mirrors
+        ``engine.rank("mallows", problem, theta=1.0)``)."""
+        return await self.submit(
+            RankingRequest(
+                algorithm,
+                problem,
+                params=params,
+                seed=seed,
+                request_id=request_id,
+            ),
+            deadline=deadline,
+        )
+
+    # -- scheduling plumbing (loop thread only) -------------------------------
+
+    def _schedule_poll(self) -> None:
+        if self._poll_handle is None and self._core is not None:
+            self._poll_handle = self._loop.call_soon(self._poll)
+
+    def _poll(self) -> None:
+        self._poll_handle = None
+        if self._core is None:
+            return
+        for batch in self._core.poll(self._loop.time()):
+            self._dispatch_queue.put_nowait(batch)
+        self._update_idle()
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        when = self._core.next_event_at()
+        if when is None:
+            return
+        delay = max(0.0, when - self._loop.time())
+        self._timer = self._loop.call_later(delay, self._schedule_poll)
+
+    def _update_idle(self) -> None:
+        if self._core is not None and self._core.live == 0:
+            self._idle.set()
+
+    def _on_engine_response(
+        self, ticket: Ticket, response: RankingResponse
+    ) -> None:
+        if self._core is None:
+            return
+        self._core.on_response(ticket, response, self._loop.time())
+        self._update_idle()
+        self._schedule_poll()  # freed budget may promote queued tickets
+
+    def _on_engine_error(self, ticket: Ticket, error: BaseException) -> None:
+        if self._core is None:
+            return
+        self._core.on_request_error(ticket, error, self._loop.time())
+        self._update_idle()
+        self._schedule_poll()
+
+    # -- dispatch (one batch at a time through the engine) --------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = await self._dispatch_queue.get()
+            if batch is None:
+                return
+            try:
+                await self._loop.run_in_executor(
+                    self._executor, self._drain_batch, batch
+                )
+            except Exception as exc:
+                # Engine/scheduler-level failure (e.g. a broken pool):
+                # per-request failures never surface here — they were
+                # already routed by rank_many_submit's on_error.
+                self._core.on_batch_aborted(batch, exc, self._loop.time())
+                self._update_idle()
+                self._schedule_poll()
+
+    def _drain_batch(self, batch: list[Ticket]) -> None:
+        """Blocking engine drain — runs in the serve worker thread.
+
+        Every ticket's request carries its pinned per-submission seed, so
+        the batch-level seed is irrelevant: the served rankings are the
+        same whatever window/cap carved this particular batch.
+        """
+        loop = self._loop
+
+        def deliver(response: RankingResponse) -> None:
+            loop.call_soon_threadsafe(
+                self._on_engine_response, batch[response.index], response
+            )
+
+        def fail(index: int, request: RankingRequest, error: Exception) -> None:
+            loop.call_soon_threadsafe(
+                self._on_engine_error, batch[index], error
+            )
+
+        self._engine.rank_many_submit(
+            [ticket.request for ticket in batch],
+            n_jobs=self._config.n_jobs,
+            on_response=deliver,
+            on_error=fail,
+        )
+
+
+__all__ = ["AsyncRankingServer"]

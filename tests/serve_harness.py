@@ -1,0 +1,158 @@
+"""The deterministic serving-test harness.
+
+The serving tier's semantics live entirely in the sans-IO
+:class:`~repro.serve.core.ServerCore` (explicit ``now`` everywhere, no
+clock reads, no event loop), so concurrency behaviour — batching-window
+coalescing, max-batch cutoff, deadline expiry, queue promotion,
+cancellation — is testable as plain synchronous state transitions.  This
+module is the driver the serve tests share:
+
+* :class:`FakeClock` — time is a number we move by hand;
+* :class:`RecordingWaiter` — the test stand-in for ``asyncio.Future``
+  (satisfies the :class:`~repro.serve.protocol.Waiter` protocol);
+* :class:`CoreDriver` — owns one core + clock, exposes ``submit`` /
+  ``advance`` / ``tick`` / ``run`` and drains dispatched batches
+  *inline* through the real engine (``rank_many_submit`` at
+  ``n_jobs=1``), so every test exercises production code end to end
+  without a single real sleep.
+
+Not a test file itself — imported by ``test_serve_batching.py`` and
+``test_serve.py``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.core import RankingEngine, RankingRequest, RankingResponse
+from repro.serve.core import ServerCore
+from repro.serve.protocol import ServeConfig, Ticket
+
+
+class FakeClock:
+    """Manual time: ``now`` only moves when a test says so."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def advance(self, dt: float) -> float:
+        if dt < 0.0:
+            raise ValueError(f"time cannot run backwards (dt={dt})")
+        self.now += dt
+        return self.now
+
+
+class RecordingWaiter:
+    """A :class:`~repro.serve.protocol.Waiter` that just remembers.
+
+    ``result``/``error`` hold whatever the core delivered; ``cancel()``
+    models the client abandoning the wait (as ``Future.cancel()`` does),
+    after which the core must not settle it.
+    """
+
+    def __init__(self):
+        self.result: RankingResponse | None = None
+        self.error: BaseException | None = None
+        self._done = False
+        self._cancelled = False
+
+    def set_result(self, result: RankingResponse) -> None:
+        if self._done or self._cancelled:
+            raise AssertionError("waiter settled twice")
+        self.result = result
+        self._done = True
+
+    def set_exception(self, error: BaseException) -> None:
+        if self._done or self._cancelled:
+            raise AssertionError("waiter settled twice")
+        self.error = error
+        self._done = True
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    def done(self) -> bool:
+        return self._done
+
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class CoreDriver:
+    """One ServerCore under one FakeClock, with inline engine drains.
+
+    The driver is the test's event loop: ``submit`` hands the core a
+    recording waiter, ``advance``/``tick`` move time and collect the
+    batches the core wants dispatched, ``run`` drains a batch through the
+    engine synchronously (``n_jobs=1`` — worker-count independence is the
+    asyncio integration suite's job), and ``drain`` loops until nothing
+    is live.  Dispatched-but-unrun batches accumulate in ``pending`` so a
+    test can interleave expiry/cancellation *between* dispatch and
+    completion — the race window that matters.
+    """
+
+    def __init__(self, engine: RankingEngine, config: ServeConfig | None = None, **overrides):
+        if config is None:
+            config = ServeConfig(**overrides)
+        self.engine = engine
+        self.clock = FakeClock()
+        self.core = ServerCore(engine, config)
+        self.pending: list[list[Ticket]] = []
+        self.waiters: list[RecordingWaiter] = []
+
+    def submit(
+        self, request: RankingRequest, *, deadline: float | None = None
+    ) -> tuple[Ticket, RecordingWaiter]:
+        """Submit at the current fake time; admission errors propagate."""
+        waiter = RecordingWaiter()
+        ticket = self.core.submit(
+            request, now=self.clock.now, waiter=waiter, deadline=deadline
+        )
+        self.waiters.append(waiter)
+        return ticket, waiter
+
+    def tick(self) -> list[list[Ticket]]:
+        """One scheduling tick at the current fake time; newly dispatched
+        batches are queued on ``pending`` and returned."""
+        batches = self.core.poll(self.clock.now)
+        self.pending.extend(batches)
+        return batches
+
+    def advance(self, dt: float) -> list[list[Ticket]]:
+        """Move time forward and tick."""
+        self.clock.advance(dt)
+        return self.tick()
+
+    def run(self, batch: list[Ticket]) -> None:
+        """Drain one dispatched batch inline through the real engine."""
+        self.engine.rank_many_submit(
+            [ticket.request for ticket in batch],
+            n_jobs=1,
+            on_response=lambda response: self.core.on_response(
+                batch[response.index], response, self.clock.now
+            ),
+            on_error=lambda index, request, error: self.core.on_request_error(
+                batch[index], error, self.clock.now
+            ),
+        )
+
+    def run_pending(self) -> int:
+        """Drain every dispatched-but-unrun batch; returns batches run."""
+        batches, self.pending = self.pending, []
+        for batch in batches:
+            self.run(batch)
+        return len(batches)
+
+    def drain(self, *, max_rounds: int = 100) -> None:
+        """Tick-and-run until the core has no live tickets (bounded, so a
+        stuck state machine fails the test instead of hanging it)."""
+        for _ in range(max_rounds):
+            if self.core.live == 0 and not self.pending:
+                return
+            self.run_pending()
+            when = self.core.next_event_at()
+            if when is not None and when > self.clock.now:
+                self.clock.advance(when - self.clock.now)
+            self.tick()
+        raise AssertionError(
+            f"core did not drain in {max_rounds} rounds "
+            f"(live={self.core.live}, pending={len(self.pending)})"
+        )

@@ -157,3 +157,60 @@ class TestRankCommand:
                 "rank", "--algorithm", "mallows",
                 "--scores", "1.0,0.5", "--param", "theta",
             ])
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = _build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.requests == 64
+        assert args.window == 0.002
+        assert args.max_batch == 16
+        assert args.verify_digest is False
+
+    def test_serve_verifies_digest(self, capsys):
+        assert main(
+            ["serve", "--requests", "12", "--verify-digest", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "12/12 served" in out
+        assert "digest ok" in out
+        assert "coalescing" in out
+
+    def test_serve_warm_start(self, tmp_path, capsys):
+        import json as _json
+
+        bench = tmp_path / "BENCH_X.json"
+        bench.write_text(_json.dumps({
+            "reports": [{"name": "b", "metrics": {"cost_table": {
+                "rank:dp:24": {"ewma_seconds": 0.01, "observations": 2},
+            }}}],
+        }))
+        assert main(
+            ["serve", "--requests", "8", "--warm-start", str(bench)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "warm-started 1 cost kinds" in err
+
+    def test_serve_rejects_bad_knobs(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--requests", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--window", "-1"])
+
+    def test_bench_client_compare_coalescing(self, capsys):
+        assert main([
+            "bench-client", "--requests", "12", "--compare-coalescing",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[no-coalescing]" in out
+        assert "coalescing speedup" in out
+        assert "p50" in out
+
+    def test_bench_client_paced_with_retries(self, capsys):
+        assert main([
+            "bench-client", "--requests", "8", "--rate", "500",
+            "--retries", "3", "--budget", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served" in out

@@ -9,6 +9,8 @@ measured-cost model feeds scheduler weights.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -350,3 +352,251 @@ class TestRunAllCostFeedback:
         digest = reports_digest(run_all(fast=True, engine=engine))
         assert digest == reports_digest(run_all(fast=True, n_jobs=1))
         assert engine.costs.known(("fig2", "delta"))
+
+
+class TestRankManySubmit:
+    """The callback drain behind the serving tier (PR 6)."""
+
+    def test_drain_matches_rank_many_digest(self, mixed_requests):
+        with RankingEngine(n_jobs=1) as engine:
+            expected = responses_digest(
+                engine.rank_many(mixed_requests, seed=3)
+            )
+            delivered = []
+            count = engine.rank_many_submit(
+                mixed_requests, seed=3, on_response=delivered.append
+            )
+        assert count == len(mixed_requests)
+        assert responses_digest(delivered) == expected
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_failure_surfaces_to_exactly_the_affected_request(
+        self, problem, n_jobs
+    ):
+        """A request raising mid-drain (theta=-1 fails inside the unit, in
+        whichever process runs it) poisons only itself: batchmates keep
+        streaming and the session stays fully serviceable."""
+        requests = [
+            RankingRequest("dp", problem, request_id="good-0"),
+            RankingRequest(
+                "mallows", problem, params={"theta": -1.0},
+                request_id="poison",
+            ),
+            RankingRequest("ipf", problem, request_id="good-1"),
+        ]
+        responses, failures = [], []
+        with RankingEngine(n_jobs=n_jobs) as engine:
+            count = engine.rank_many_submit(
+                requests,
+                seed=0,
+                n_jobs=n_jobs,
+                on_response=responses.append,
+                on_error=lambda i, req, err: failures.append((i, req, err)),
+            )
+            assert count == 3
+            assert sorted(r.request_id for r in responses) == [
+                "good-0", "good-1",
+            ]
+            ((index, request, error),) = failures
+            assert index == 1
+            assert request.request_id == "poison"
+            assert isinstance(error, ValueError)
+            # Reusable session: the failure left no poisoned state behind.
+            again = list(engine.rank_many(requests[:1], seed=1))
+            assert again[0].request_id == "good-0"
+
+    def test_without_on_error_first_failure_raises(self, problem):
+        requests = [
+            RankingRequest("mallows", problem, params={"theta": -1.0}),
+            RankingRequest("dp", problem),
+        ]
+        with RankingEngine(n_jobs=1) as engine:
+            with pytest.raises(ValueError):
+                engine.rank_many_submit(
+                    requests, seed=0, on_response=lambda r: None
+                )
+            # Inline drain aborts at the failure: the dp unit never ran...
+            assert engine.stats().requests_total == 0
+            # ...and the session still serves afterwards.
+            assert list(engine.rank_many(requests[1:], seed=0))
+
+    def test_unpicklable_failure_downgraded_not_fatal(self, problem):
+        """An exception that cannot cross a process boundary must come
+        back as a picklable RuntimeError, not kill the stream."""
+
+        class Cursed(FairRankingAlgorithm):
+            name = "cursed"
+            requires_protected_attribute = False
+
+            def rank(self, problem, seed=None):
+                err = ValueError("original message")
+                err.payload = lambda: None  # unpicklable attribute
+                raise err
+
+        register_algorithm("cursed", Cursed, summary="raises unpicklable")
+        try:
+            failures = []
+            with RankingEngine(n_jobs=1) as engine:
+                engine.rank_many_submit(
+                    [RankingRequest("cursed", problem)],
+                    seed=0,
+                    on_response=lambda r: None,
+                    on_error=lambda i, req, err: failures.append(err),
+                )
+            ((error,),) = (failures,)
+            assert isinstance(error, RuntimeError)
+            assert "original message" in str(error)
+            import pickle as _pickle
+
+            _pickle.dumps(error)  # guaranteed marshallable
+        finally:
+            unregister_algorithm("cursed")
+
+    def test_costs_learned_only_from_successes(self, problem):
+        requests = [
+            RankingRequest("mallows", problem, params={"theta": -1.0}),
+            RankingRequest("dp", problem),
+        ]
+        with RankingEngine(n_jobs=1) as engine:
+            engine.rank_many_submit(
+                requests,
+                seed=0,
+                on_response=lambda r: None,
+                on_error=lambda i, req, err: None,
+            )
+            assert engine.costs.known(("rank", "dp", problem.n_items))
+            assert not engine.costs.known(
+                ("rank", "mallows", problem.n_items)
+            )
+
+
+class TestCostModelMerge:
+    """The (previously dead) merge path and its JSON round-trip (PR 6)."""
+
+    def test_snapshot_merge_round_trip(self):
+        source = CostModel()
+        source.observe(("rank", "dp", 150), 0.25)
+        source.observe(("rank", "mallows", 40), 1.5)
+        target = CostModel()
+        assert target.merge(source.snapshot()) == 2
+        assert target.weight(("rank", "dp", 150)) == pytest.approx(0.25)
+        assert target.snapshot() == source.snapshot()
+
+    def test_jsonable_round_trip_restores_tuple_kinds(self):
+        import json as _json
+
+        source = CostModel()
+        source.observe(("rank", "dp", 150), 0.25)
+        source.observe(("rank", "gmm", 40), 0.75)
+        wire = _json.loads(_json.dumps(source.to_jsonable()))  # real JSON
+        target = CostModel()
+        assert target.merge_jsonable(wire) == 2
+        # Kinds come back as the original tuples, ints included.
+        assert target.known(("rank", "dp", 150))
+        assert target.weight(("rank", "gmm", 40)) == pytest.approx(0.75)
+
+    def test_zero_count_entry_is_skipped_not_divided(self):
+        target = CostModel()
+        imported = target.merge(
+            {
+                ("rank", "dp", 6): (0.5, 0),       # no measurement behind it
+                ("rank", "ipf", 6): (0.2, 3),      # fine
+                ("rank", "gmm", 6): (float("nan"), 2),   # junk EWMA
+                ("rank", "mallows", 6): (-1.0, 2),       # negative EWMA
+            }
+        )
+        assert imported == 1
+        assert target.known(("rank", "ipf", 6))
+        assert not target.known(("rank", "dp", 6))
+        assert len(target) == 1
+
+    def test_merge_never_clobbers_learned_ewma(self):
+        target = CostModel()
+        target.observe(("rank", "dp", 6), 0.1)
+        assert target.merge({("rank", "dp", 6): (9.9, 100)}) == 0
+        assert target.weight(("rank", "dp", 6)) == pytest.approx(0.1)
+
+    def test_merge_jsonable_skips_malformed_rows(self):
+        target = CostModel()
+        imported = target.merge_jsonable(
+            {
+                "rank:dp:6": {"ewma_seconds": 0.3, "observations": 2},
+                "rank:ipf:6": {"observations": 2},          # missing EWMA
+                "rank:gmm:6": {"ewma_seconds": "junk", "observations": 2},
+            }
+        )
+        assert imported == 1
+        assert target.known(("rank", "dp", 6))
+
+    def test_kind_label_round_trip(self):
+        from repro.engine import kind_from_label, kind_label
+
+        for kind in [("rank", "dp", 150), ("table1",), ("fig1", "cell")]:
+            assert kind_from_label(kind_label(kind)) == kind
+
+    def test_load_bench_cost_tables_most_observations_wins(self, tmp_path):
+        from repro.engine import load_bench_cost_tables
+
+        a = tmp_path / "BENCH_A.json"
+        b = tmp_path / "BENCH_B.json"
+        a.write_text(json.dumps({
+            "reports": [{"name": "x", "metrics": {"cost_table": {
+                "rank:dp:6": {"ewma_seconds": 0.1, "observations": 2},
+                "rank:ipf:6": {"ewma_seconds": 0.4, "observations": 7},
+            }}}],
+        }))
+        b.write_text(json.dumps({
+            "reports": [
+                {"name": "y", "metrics": {"cost_table": {
+                    "rank:dp:6": {"ewma_seconds": 0.3, "observations": 9},
+                }}},
+                {"name": "z", "metrics": {}},  # no table: contributes nothing
+            ],
+        }))
+        table = load_bench_cost_tables(a, b)
+        assert table["rank:dp:6"]["ewma_seconds"] == pytest.approx(0.3)
+        assert table["rank:ipf:6"]["observations"] == 7
+        with pytest.raises(FileNotFoundError):
+            load_bench_cost_tables(tmp_path / "missing.json")
+
+    def test_warm_start_shapes_first_batch_dispatch_weights(self, problem):
+        """A warm-started table must reach the *first* batch's WorkUnit
+        weights — previously the merge existed but nothing called it."""
+        from repro.engine.core import _rank_unit
+
+        kind = ("rank", "dp", problem.n_items)
+        table = {"rank:dp:6": {"ewma_seconds": 0.33, "observations": 4}}
+        with RankingEngine(n_jobs=1) as engine:
+            assert engine.warm_start_costs(table) == 1
+            units = engine._build_units(
+                [RankingRequest("dp", problem)], seed=0, fn=_rank_unit
+            )
+            assert units[0].weight == pytest.approx(0.33)
+            assert units[0].kind == kind
+        with RankingEngine(n_jobs=1) as cold:
+            units = cold._build_units(
+                [RankingRequest("dp", problem)], seed=0, fn=_rank_unit
+            )
+            assert units[0].weight == 1.0  # static guess without warmth
+
+    def test_warm_start_from_path_and_iterable(self, tmp_path):
+        payload = {"reports": [{"name": "x", "metrics": {"cost_table": {
+            "rank:dp:6": {"ewma_seconds": 0.2, "observations": 3},
+        }}}]}
+        path = tmp_path / "BENCH_T.json"
+        path.write_text(json.dumps(payload))
+        with RankingEngine(n_jobs=1) as engine:
+            assert engine.warm_start_costs(path) == 1
+        with RankingEngine(n_jobs=1) as engine:
+            assert engine.warm_start_costs([str(path), str(path)]) == 1
+
+    def test_warm_start_never_overrides_measured_session(self, problem):
+        with RankingEngine(n_jobs=1) as engine:
+            list(engine.rank_many([("dp", problem)], seed=0))
+            measured = engine.costs.weight(("rank", "dp", problem.n_items))
+            assert engine.warm_start_costs(
+                {"rank:dp:6": {"ewma_seconds": 99.0, "observations": 1}}
+            ) == 0
+            assert engine.costs.weight(
+                ("rank", "dp", problem.n_items)
+            ) == pytest.approx(measured)

@@ -41,6 +41,13 @@ class TestFastExamples:
         assert "representation" in out
         assert "DetConstSort" in out
 
+    def test_serving_async(self, capsys):
+        _load_example("serving_async").main()
+        out = capsys.readouterr().out
+        assert "served 24/24 concurrent clients" in out
+        assert "coalesced batches" in out
+        assert "byte-identical to the serial loop: ok" in out
+
 
 class TestExampleFilesExist:
     @pytest.mark.parametrize(
@@ -52,6 +59,8 @@ class TestExampleFilesExist:
             "robustness_unknown_attribute",
             "rank_aggregation_pipeline",
             "tradeoff_frontier",
+            "serving_throughput",
+            "serving_async",
         ],
     )
     def test_present_and_has_main(self, name):

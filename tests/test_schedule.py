@@ -240,3 +240,79 @@ class TestRunAllScheduler:
         assert reports_digest(a) == reports_digest(dict(a))
         assert reports_digest(a) != reports_digest({"x": "1", "y": "3"})
         assert reports_digest(a) != reports_digest({"y": "2", "x": "1"})
+
+
+def _marker_unit(seed, directory, name, dwell):
+    """Unit that leaves a file proving it ran (``dwell`` keeps pooled
+    variants busy long enough for cancellation to be observable)."""
+    import time as _time
+
+    if dwell:
+        _time.sleep(dwell)
+    with open(os.path.join(directory, name), "w") as fh:
+        fh.write("ran")
+    return name
+
+
+class TestMidStreamFailure:
+    """PR-5 left the failure path of ``iter_units`` untested: a unit
+    raising mid-stream must cancel still-queued units (not grind the pool
+    through work nobody will consume) and leave the pool reusable."""
+
+    def test_inline_failure_cancels_everything_after_it(self, tmp_path):
+        units = [
+            WorkUnit(key="before", fn=_marker_unit,
+                     payload=(str(tmp_path), "before", 0.0)),
+            WorkUnit(key="boom", fn=_boom_unit),
+            WorkUnit(key="after", fn=_marker_unit,
+                     payload=(str(tmp_path), "after", 0.0)),
+        ]
+        with pytest.raises(RuntimeError, match="unit failure"):
+            list(iter_units(units, n_jobs=1))
+        # Inline order is input order: the unit before the failure ran,
+        # the one behind it was cancelled before ever starting.
+        assert (tmp_path / "before").exists()
+        assert not (tmp_path / "after").exists()
+
+    def test_pooled_failure_cancels_queued_units(self, tmp_path):
+        # The failing unit's weight puts it first into the pool; the 40
+        # marker units behind it are queued.  When the failure surfaces,
+        # queued futures are cancelled — only the few a second worker
+        # grabbed in the race window may have run.
+        n_markers = 40
+        units = [WorkUnit(key="boom", fn=_boom_unit, weight=100.0)] + [
+            WorkUnit(
+                key=("marker", i),
+                fn=_marker_unit,
+                payload=(str(tmp_path), f"m{i}", 0.005),
+                weight=1.0,
+            )
+            for i in range(n_markers)
+        ]
+        with pytest.raises(RuntimeError, match="unit failure"):
+            list(iter_units(units, n_jobs=2))
+        ran = len(list(tmp_path.glob("m*")))
+        assert ran < n_markers, (
+            f"{ran}/{n_markers} queued units ran after the failure — "
+            "cancellation did not happen"
+        )
+        # The shared pool survives the abort and serves again.
+        units_again = _units(4)
+        assert run_units(units_again, n_jobs=2) == run_units(
+            units_again, n_jobs=1
+        )
+
+    def test_abandoned_stream_cancels_queued_units(self, tmp_path):
+        n_markers = 40
+        units = [
+            WorkUnit(
+                key=("marker", i),
+                fn=_marker_unit,
+                payload=(str(tmp_path), f"m{i}", 0.005),
+            )
+            for i in range(n_markers)
+        ]
+        stream = iter_units(units, n_jobs=2)
+        next(stream)
+        stream.close()
+        assert len(list(tmp_path.glob("m*"))) < n_markers
