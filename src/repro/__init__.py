@@ -47,6 +47,13 @@ byte-identical to the serial loop over the same submissions — see
 ``examples/serving_async.py`` and the ``repro serve`` / ``repro
 bench-client`` CLI commands.
 
+These contracts are machine-checked: ``repro lint src/``
+(:mod:`repro.analysis`, a stdlib-``ast`` linter) statically enforces the
+determinism, sans-IO, and cache-discipline invariants — seeded RNG entry
+points, clock-free serving core, registry-only construction,
+order-stable digest inputs — and CI fails on any unsuppressed finding
+(see the README's "Invariants & lint rules").
+
 The package layers:
 
 * :mod:`repro.rankings` — permutations, rank distances, NDCG;

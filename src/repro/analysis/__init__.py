@@ -1,0 +1,90 @@
+"""repro.analysis — the repository's self-hosted static-analysis engine.
+
+The layers beneath this one run on contracts: the ``n_jobs`` byte-equality
+guarantee assumes all randomness flows through ``SeedSequence`` children
+(never a global RNG), the sans-IO ``ServerCore`` assumes no code path
+reads a real clock, the engine's session caches assume kernels reach
+memoization through ``active_cache()``.  Until this package, those
+contracts were enforced by convention and caught — if at all — by a flaky
+digest mismatch hours later.  ``repro.analysis`` turns each one into an
+AST lint rule (stdlib :mod:`ast`, no dependencies) that fails at review
+time instead.
+
+Quick use (the CLI form is ``repro-fair-ranking lint src/``)::
+
+    >>> from repro.analysis import lint_source
+    >>> result = lint_source(
+    ...     "import time\\ndef tick():\\n    return time.monotonic()\\n",
+    ...     path="snippet.py", module="repro.serve.core",
+    ... )
+    >>> [(f.rule, f.line) for f in result.active]
+    [('REP002', 3)]
+    >>> lint_source("x = 1\\n", path="ok.py", module="repro.serve.core").clean
+    True
+
+The rule set (details and rationale: ``README.md`` → *Invariants & lint
+rules*, and each rule's ``rationale`` attribute):
+
+========  ==============================================================
+REP001    global-RNG construction/use outside seeded entry points
+REP002    wall-clock reads inside clock-free (sans-IO / digest) modules
+REP003    blocking calls inside ``async def`` bodies in ``repro.serve``
+REP004    ``KernelCache()`` / ``DEFAULT_CACHE`` use outside cache owners
+REP005    legacy algorithm constructors bypassing ``make_algorithm``
+REP006    unordered-container iteration in digest-feeding modules
+REP007    bare/swallowed ``except`` in worker-executed code
+REP000    (reserved) a ``# repro: noqa`` that suppresses nothing — stale
+========  ==============================================================
+
+Findings are suppressible per line with ``# repro: noqa[REP002]`` plus a
+justification; stale suppressions are themselves findings, so the
+suppression inventory can only shrink.
+"""
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig, module_matches
+from repro.analysis.engine import (
+    STALE_RULE_ID,
+    Finding,
+    LintEngine,
+    LintError,
+    LintResult,
+    Rule,
+    get_rule,
+    iter_rules,
+    lint_paths,
+    lint_source,
+    register_rule,
+    rule_ids,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.suppressions import (
+    Suppression,
+    SuppressionSyntaxError,
+    find_suppressions,
+)
+
+# Importing the rules module registers the REP rule set.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "LintError",
+    "LintResult",
+    "Rule",
+    "STALE_RULE_ID",
+    "Suppression",
+    "SuppressionSyntaxError",
+    "find_suppressions",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "module_matches",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

@@ -1,0 +1,427 @@
+"""The lint engine: one AST walk, a string-keyed rule registry, findings.
+
+Mirror of the serving side's :mod:`repro.engine.registry`: rules register
+under stable string ids (``"REP001"``), surfaces iterate the registry as
+data (:func:`rule_ids`, :func:`iter_rules`), and a run is an engine call —
+:func:`lint_source` for one buffer, :func:`lint_paths` for a tree.
+
+The walk is single-pass: :class:`LintEngine` descends the tree once,
+maintaining the ancestor stack and the module's import map, and offers
+every node to every in-scope rule.  Rules are :class:`Rule` subclasses
+producing ``(line, col, message)`` triples; the engine stamps them into
+:class:`Finding` records, applies the ``# repro: noqa[...]`` suppressions
+(:mod:`repro.analysis.suppressions`), and reports stale suppressions under
+the reserved id :data:`STALE_RULE_ID`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.suppressions import (
+    Suppression,
+    SuppressionSyntaxError,
+    find_suppressions,
+)
+
+#: Reserved id under which stale ``noqa`` comments are reported (a
+#: suppression that matches no finding is itself a finding).
+STALE_RULE_ID = "REP000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pinned to a source location.
+
+    ``suppressed`` findings matched a ``# repro: noqa[...]`` comment on
+    their line; they are kept (reporters can show them) but never fail a
+    run.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix reporters print."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file the engine could not lint (unreadable or unparsable)."""
+
+    path: str
+    message: str
+    line: int = 0
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``summary``/``rationale`` and implement
+    :meth:`visit`; :meth:`applies` gates the rule per file (contract
+    scoping).  Rules are stateless — one instance serves every file.
+    """
+
+    id: str = ""
+    summary: str = ""
+    #: Why the invariant exists — rendered in ``--explain`` style docs.
+    rationale: str = ""
+
+    def applies(self, ctx: "LintContext") -> bool:
+        """Whether this rule is in scope for ``ctx``'s module."""
+        return True
+
+    def visit(
+        self, node: ast.AST, ctx: "LintContext"
+    ) -> Iterable[tuple[int, int, str]]:
+        """Findings for ``node`` as ``(line, col, message)`` triples."""
+        return ()
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add a :class:`Rule` subclass to the registry.
+
+    Ids are unique; re-registering an id replaces the entry (mirrors
+    ``repro.engine.registry`` semantics so tests can shadow a rule).
+    """
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def get_rule(rule_id: str) -> Rule:
+    """The registered rule for ``rule_id``."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(rule_ids())
+        raise KeyError(f"unknown rule {rule_id!r}; registered rules: {known}")
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Every registered rule id, sorted."""
+    return tuple(sorted(_RULES))
+
+
+def iter_rules() -> Iterator[Rule]:
+    """Every registered rule, in id order."""
+    for rule_id in rule_ids():
+        yield _RULES[rule_id]
+
+
+class LintContext:
+    """Per-file state the engine exposes to rules during the walk."""
+
+    def __init__(self, path: str, module: str, config: LintConfig):
+        self.path = path
+        self.module = module
+        self.config = config
+        #: Ancestors of the node currently offered to rules (outermost
+        #: first; the node itself is *not* on the stack).
+        self.stack: list[ast.AST] = []
+        #: Local name -> dotted origin, from top-level imports
+        #: (``import numpy as np`` -> ``{"np": "numpy"}``,
+        #: ``from time import perf_counter`` ->
+        #: ``{"perf_counter": "time.perf_counter"}``).
+        self.imports: dict[str, str] = {}
+
+    # -- structural queries used by the rules ------------------------------
+
+    def parent(self) -> ast.AST | None:
+        """The immediate parent of the current node (``None`` at module
+        level)."""
+        return self.stack[-1] if self.stack else None
+
+    def enclosing_function(
+        self,
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function whose *body* contains the current node."""
+        for node in reversed(self.stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def in_async_function(self) -> bool:
+        """Whether the nearest enclosing function is ``async def``."""
+        return isinstance(self.enclosing_function(), ast.AsyncFunctionDef)
+
+    def resolve(self, dotted: str) -> str:
+        """Rewrite ``dotted``'s head through the import map.
+
+        ``np.random.default_rng`` becomes ``numpy.random.default_rng``
+        under ``import numpy as np``; an unmapped head passes through.
+        """
+        head, sep, rest = dotted.partition(".")
+        origin = self.imports.get(head)
+        if origin is None:
+            return dotted
+        return origin + sep + rest if rest else origin
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The source-level dotted name of a ``Name``/``Attribute`` chain
+    (``None`` for anything dynamic, e.g. a subscript in the chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _collect_imports(tree: ast.Module, ctx: LintContext) -> None:
+    """Fill ``ctx.imports`` from every ``import`` in the file (any depth —
+    local imports are the repo's idiom for optional heavy deps)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                origin = alias.name if alias.asname else local
+                ctx.imports[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                ctx.imports[local] = f"{node.module}.{alias.name}"
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of ``path``, walking up through packages.
+
+    ``src/repro/serve/core.py`` -> ``repro.serve.core``; a file outside any
+    package (no ``__init__.py`` chain) is just its stem, which keeps
+    fixture files scope-neutral unless a test overrides the module.
+    """
+    directory, filename = os.path.split(os.path.abspath(path))
+    stem = os.path.splitext(filename)[0]
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.append(package)
+    return ".".join(reversed(parts)) or stem
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Everything one lint run produced.
+
+    ``findings`` holds every finding (suppressed ones flagged, stale
+    suppressions included under :data:`STALE_RULE_ID`), sorted by location.
+    """
+
+    findings: tuple[Finding, ...] = ()
+    errors: tuple[LintError, ...] = ()
+    files: int = 0
+
+    @property
+    def active(self) -> tuple[Finding, ...]:
+        """The findings that fail a run (unsuppressed)."""
+        return tuple(f for f in self.findings if not f.suppressed)
+
+    @property
+    def suppressed(self) -> tuple[Finding, ...]:
+        """The findings silenced by ``# repro: noqa[...]`` comments."""
+        return tuple(f for f in self.findings if f.suppressed)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run is gate-passing: no active findings, no errors."""
+        return not self.active and not self.errors
+
+    def merged(self, other: "LintResult") -> "LintResult":
+        """This result plus ``other`` (multi-file aggregation)."""
+        return LintResult(
+            findings=self.findings + other.findings,
+            errors=self.errors + other.errors,
+            files=self.files + other.files,
+        )
+
+
+class LintEngine:
+    """A configured lint session: walks trees, applies rules, suppresses.
+
+    >>> from repro.analysis import LintEngine
+    >>> engine = LintEngine()
+    >>> result = engine.lint_source(
+    ...     "import numpy as np\\nrng = np.random.default_rng(0)\\n",
+    ...     path="snippet.py", module="repro.rankings.snippet",
+    ... )
+    >>> [(f.rule, f.line) for f in result.active]
+    [('REP001', 2)]
+    """
+
+    def __init__(self, config: LintConfig | None = None):
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.rules: tuple[Rule, ...] = tuple(
+            rule for rule in iter_rules() if self.config.enabled(rule.id)
+        )
+
+    # -- entry points -------------------------------------------------------
+
+    def lint_source(
+        self, source: str, path: str, module: str | None = None
+    ) -> LintResult:
+        """Lint one source buffer (``module`` overrides scope resolution —
+        how fixture tests lint a snippet *as* ``repro.serve.core``)."""
+        if module is None:
+            module = module_name_for(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return LintResult(
+                errors=(
+                    LintError(
+                        path=path,
+                        message=f"syntax error: {exc.msg}",
+                        line=exc.lineno or 0,
+                    ),
+                ),
+                files=1,
+            )
+        ctx = LintContext(path=path, module=module, config=self.config)
+        _collect_imports(tree, ctx)
+        in_scope = [rule for rule in self.rules if rule.applies(ctx)]
+        raw: list[Finding] = []
+
+        def descend(node: ast.AST) -> None:
+            for rule in in_scope:
+                for line, col, message in rule.visit(node, ctx):
+                    raw.append(
+                        Finding(
+                            rule=rule.id,
+                            path=path,
+                            line=line,
+                            col=col,
+                            message=message,
+                        )
+                    )
+            ctx.stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                descend(child)
+            ctx.stack.pop()
+
+        descend(tree)
+        errors: tuple[LintError, ...] = ()
+        try:
+            suppressions: Sequence[Suppression] = find_suppressions(source)
+        except SuppressionSyntaxError as exc:
+            suppressions = ()
+            errors = (LintError(path=path, message=str(exc), line=exc.line),)
+        findings = self._apply_suppressions(raw, suppressions, path)
+        findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return LintResult(findings=tuple(findings), errors=errors, files=1)
+
+    def lint_file(self, path: str, module: str | None = None) -> LintResult:
+        """Lint one file from disk."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            return LintResult(
+                errors=(LintError(path=path, message=str(exc)),), files=1
+            )
+        return self.lint_source(source, path=path, module=module)
+
+    def lint_paths(self, paths: Iterable[str]) -> LintResult:
+        """Lint files and directory trees (``*.py``, sorted walk order)."""
+        result = LintResult()
+        for path in paths:
+            for file_path in _python_files(path):
+                result = result.merged(self.lint_file(file_path))
+        return result
+
+    # -- suppression application -------------------------------------------
+
+    def _apply_suppressions(
+        self,
+        findings: list[Finding],
+        suppressions: Sequence[Suppression],
+        path: str,
+    ) -> list[Finding]:
+        by_line: dict[int, Suppression] = {s.line: s for s in suppressions}
+        matched: set[int] = set()
+        out: list[Finding] = []
+        for finding in findings:
+            suppression = by_line.get(finding.line)
+            if suppression is not None and suppression.covers(finding.rule):
+                matched.add(suppression.line)
+                finding = replace(finding, suppressed=True)
+            out.append(finding)
+        if self.config.enabled(STALE_RULE_ID):
+            for suppression in suppressions:
+                if suppression.line in matched:
+                    continue
+                if not self._stale_checkable(suppression):
+                    continue
+                out.append(
+                    Finding(
+                        rule=STALE_RULE_ID,
+                        path=path,
+                        line=suppression.line,
+                        col=suppression.col,
+                        message=(
+                            "stale suppression: this `# repro: noqa"
+                            f"{suppression.render_rules()}` matches no "
+                            "finding — remove it (suppressions must earn "
+                            "their keep, or they hide the next real "
+                            "violation)"
+                        ),
+                    )
+                )
+        return out
+
+    def _stale_checkable(self, suppression: Suppression) -> bool:
+        """Stale-check only suppressions whose rules all ran: under
+        ``--select REP006`` a ``noqa[REP001]`` is dormant, not stale."""
+        enabled = {rule.id for rule in self.rules}
+        if suppression.rules is None:
+            return set(rule.id for rule in iter_rules()) <= enabled | {
+                STALE_RULE_ID
+            }
+        return set(suppression.rules) <= enabled
+
+
+def _python_files(path: str) -> Iterator[str]:
+    """``path`` itself (a file), or every ``*.py`` under it, sorted."""
+    if os.path.isfile(path):
+        yield path
+        return
+    for root, dirs, files in os.walk(path):
+        dirs.sort()
+        for name in sorted(files):
+            if name.endswith(".py"):
+                yield os.path.join(root, name)
+
+
+def lint_paths(
+    paths: Iterable[str], config: LintConfig | None = None
+) -> LintResult:
+    """One-call façade: lint ``paths`` under ``config`` (or the default)."""
+    return LintEngine(config).lint_paths(paths)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig | None = None,
+) -> LintResult:
+    """One-call façade over :meth:`LintEngine.lint_source`."""
+    return LintEngine(config).lint_source(source, path=path, module=module)

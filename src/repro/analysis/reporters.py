@@ -1,0 +1,78 @@
+"""Rendering lint results: human text and machine JSON.
+
+The text form is the review-time surface (``path:line:col: RULE message``,
+one per line, summary last).  The JSON form is the CI artefact — a stable
+schema the lint gate uploads so a red build carries its findings with it::
+
+    {
+      "version": 1,
+      "clean": false,
+      "files": 12,
+      "counts": {"active": 2, "suppressed": 3, "errors": 0},
+      "findings": [{"rule": "REP001", "path": "...", "line": 7, ...}],
+      "errors": []
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import Finding, LintError, LintResult
+
+
+def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
+    """The human report: one line per active finding, summary last."""
+    lines: list[str] = []
+    for error in result.errors:
+        location = f"{error.path}:{error.line}" if error.line else error.path
+        lines.append(f"{location}: error: {error.message}")
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        tag = " (suppressed)" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.message}{tag}"
+        )
+    active = len(result.active)
+    suppressed = len(result.suppressed)
+    lines.append(
+        f"{result.files} file{'s' if result.files != 1 else ''} checked: "
+        f"{active} finding{'s' if active != 1 else ''}"
+        f" ({suppressed} suppressed, {len(result.errors)} errors)"
+    )
+    return "\n".join(lines)
+
+
+def _finding_payload(finding: Finding) -> dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "suppressed": finding.suppressed,
+    }
+
+
+def _error_payload(error: LintError) -> dict[str, object]:
+    return {"path": error.path, "line": error.line, "message": error.message}
+
+
+def render_json(result: LintResult, *, indent: int | None = 2) -> str:
+    """The machine report (schema in the module docstring); key order and
+    finding order are deterministic, so two clean runs over one tree are
+    byte-identical — the property the CI artefact diffing relies on."""
+    payload = {
+        "version": 1,
+        "clean": result.clean,
+        "files": result.files,
+        "counts": {
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+            "errors": len(result.errors),
+        },
+        "findings": [_finding_payload(f) for f in result.findings],
+        "errors": [_error_payload(e) for e in result.errors],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)

@@ -1,0 +1,494 @@
+"""The repository's REP rules — its invariants, executable.
+
+Each rule enforces one contract the earlier layers rely on but could not,
+until now, *check*:
+
+* **REP001** — byte-identical results for every ``n_jobs`` require that
+  randomness flows through the per-unit ``SeedSequence`` tree; a global
+  RNG construction mid-computation forks an unaccounted stream.
+* **REP002** — the sans-IO serving core and the digest-feeding compute
+  modules must be pure functions of their inputs; a wall-clock read is
+  either a bug or a timing-only measurement that must justify itself.
+* **REP003** — ``async def`` bodies in the serving tier must never block
+  the event loop: no sleeps, no sync IO, no inline engine compute (that
+  is what the executor hop is for).
+* **REP004** — kernel call sites reach memoization through
+  ``active_cache()`` so engine sessions can scope it; constructing
+  ``KernelCache`` (or mutating ``DEFAULT_CACHE``) elsewhere silently
+  splits the cache a session thinks it owns.
+* **REP005** — algorithms are constructed through the registry
+  (``make_algorithm``); direct legacy-constructor calls bypass the
+  deprecation shims and the engine's session accounting.
+* **REP006** — anything that feeds ``reports_digest``/``responses_digest``
+  must iterate deterministically; sets (and, as a discipline, dict views)
+  iterate in hash/insertion order the reader cannot verify locally —
+  wrap them in ``sorted(...)``.
+* **REP007** — exceptions in worker-executed code must surface: a bare
+  ``except:`` (or a swallowed handler) turns a poisoned work unit into a
+  silent wrong answer or a hung waiter.
+
+Every rule is suppressible per line with ``# repro: noqa[REPnnn]`` plus a
+justification — see :mod:`repro.analysis.suppressions`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.config import module_matches
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+_FindingTriples = Iterable[tuple[int, int, str]]
+
+
+def _at(node: ast.AST, message: str) -> tuple[int, int, str]:
+    return (node.lineno, node.col_offset, message)
+
+
+def _call_dotted(node: ast.Call, ctx: LintContext) -> str | None:
+    """The resolved dotted name of a call's target, or ``None``."""
+    name = dotted_name(node.func)
+    return None if name is None else ctx.resolve(name)
+
+
+# ---------------------------------------------------------------------------
+# REP001 — seeded-RNG discipline
+# ---------------------------------------------------------------------------
+
+#: ``numpy.random`` attributes that are *fine* to touch anywhere: the
+#: explicit-seeding types the determinism contract is built from.
+_NP_RANDOM_OK = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    id = "REP001"
+    summary = "global RNG construction/use outside seeded entry points"
+    rationale = (
+        "Byte-identical output for every n_jobs placement requires all "
+        "randomness to derive from per-unit SeedSequence children; a "
+        "np.random.default_rng(...) (or stdlib random.*) call inside "
+        "compute code forks a stream the seed tree does not account for."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not module_matches(ctx.module, ctx.config.rng_entry_points)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
+        if not isinstance(node, ast.Call):
+            return
+        name = _call_dotted(node, ctx)
+        if name is None:
+            return
+        if name == "numpy.random.default_rng":
+            yield _at(
+                node,
+                "np.random.default_rng(...) outside a seeded entry point — "
+                "take a Generator parameter spawned from the caller's "
+                "SeedSequence children instead (repro.utils.rng)",
+            )
+        elif name.startswith("numpy.random."):
+            attr = name.rsplit(".", 1)[1]
+            if attr not in _NP_RANDOM_OK:
+                yield _at(
+                    node,
+                    f"legacy global-state RNG call np.random.{attr}(...) — "
+                    "it mutates the process-wide MT19937 stream; use the "
+                    "Generator passed in by the seed tree",
+                )
+        elif name.startswith("random.") or name == "random":
+            yield _at(
+                node,
+                f"stdlib {name}(...) draws from the process-wide RNG — "
+                "use the numpy Generator passed in by the seed tree",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP002 — clock-free modules
+# ---------------------------------------------------------------------------
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "REP002"
+    summary = "wall-clock read inside a clock-free module"
+    rationale = (
+        "The sans-IO serving core takes every timestamp as an explicit "
+        "`now` argument (that is what makes the fake-clock harness "
+        "possible), and the digest-feeding compute modules must be pure "
+        "functions of their inputs; a clock read in either is hidden "
+        "state."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return module_matches(ctx.module, ctx.config.clock_free_modules)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
+        if not isinstance(node, ast.Call):
+            return
+        name = _call_dotted(node, ctx)
+        if name in _CLOCK_CALLS:
+            yield _at(
+                node,
+                f"{name}() read inside a clock-free module — transitions "
+                "take an explicit `now`; measurements belong to the "
+                "scheduler/shell layers (or carry a justified noqa)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP003 — non-blocking async bodies
+# ---------------------------------------------------------------------------
+
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+    }
+)
+
+_ENGINE_DISPATCH_ATTRS = frozenset(
+    {"rank", "rank_many", "rank_many_submit"}
+)
+
+
+@register_rule
+class BlockingAsyncRule(Rule):
+    id = "REP003"
+    summary = "blocking call inside an `async def` body in the serving tier"
+    rationale = (
+        "One blocked event loop stalls every coalescing window, deadline "
+        "timer, and waiter at once; sleeps use asyncio.sleep, file IO "
+        "happens off-loop, and engine compute crosses the executor hop."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return module_matches(ctx.module, ctx.config.async_modules)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
+        if not isinstance(node, ast.Call) or not ctx.in_async_function():
+            return
+        name = _call_dotted(node, ctx)
+        if name is not None:
+            if name in _BLOCKING_CALLS:
+                fix = (
+                    "await asyncio.sleep(...)"
+                    if name == "time.sleep"
+                    else "run it off-loop (executor)"
+                )
+                yield _at(
+                    node,
+                    f"blocking {name}(...) inside `async def` — {fix}",
+                )
+                return
+            if name == "open" or name.endswith(".open"):
+                yield _at(
+                    node,
+                    "synchronous file IO inside `async def` — open files "
+                    "before entering the loop, or hop through the executor",
+                )
+                return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ENGINE_DISPATCH_ATTRS
+            and not isinstance(ctx.parent(), ast.Await)
+        ):
+            yield _at(
+                node,
+                f"direct engine .{node.func.attr}(...) inside `async def` "
+                "— engine compute is synchronous and must cross the "
+                "executor hop (loop.run_in_executor), not run on the loop",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP004 — cache discipline
+# ---------------------------------------------------------------------------
+
+#: ``DEFAULT_CACHE`` methods that mutate it (``stats()`` is a read).
+_CACHE_MUTATORS = frozenset(
+    {"clear", "invalidate_constraints", "invalidate_marginals"}
+)
+
+
+@register_rule
+class CacheDisciplineRule(Rule):
+    id = "REP004"
+    summary = "KernelCache construction / DEFAULT_CACHE mutation outside owners"
+    rationale = (
+        "Engine sessions own private KernelCaches installed via "
+        "use_cache(); kernels reach memoization through active_cache(). "
+        "Constructing KernelCache (or mutating DEFAULT_CACHE) elsewhere "
+        "splits the cache a session thinks it owns and corrupts its "
+        "hit/miss accounting."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not module_matches(ctx.module, ctx.config.cache_owners)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] == "KernelCache":
+                yield _at(
+                    node,
+                    "direct KernelCache(...) construction — go through "
+                    "active_cache() (session caches install themselves via "
+                    "use_cache); only repro.batch.cache and the engine may "
+                    "construct caches",
+                )
+                return
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CACHE_MUTATORS
+            ):
+                owner = dotted_name(node.func.value)
+                if owner is not None and owner.split(".")[-1] == "DEFAULT_CACHE":
+                    yield _at(
+                        node,
+                        f"DEFAULT_CACHE.{node.func.attr}(...) outside the "
+                        "cache owners — mutating the process-wide cache "
+                        "from library code invalidates other sessions' "
+                        "entries behind their backs",
+                    )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                name = dotted_name(target)
+                if name is not None and name.split(".")[-1] == "DEFAULT_CACHE":
+                    yield _at(
+                        target,
+                        "rebinding DEFAULT_CACHE — the process-wide cache "
+                        "is installed once by repro.batch.cache; sessions "
+                        "scope their own via use_cache()",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# REP005 — registry-only algorithm construction
+# ---------------------------------------------------------------------------
+
+#: The legacy constructor classes shimmed by the PR-5 registry.
+_LEGACY_CONSTRUCTORS = frozenset(
+    {
+        "MallowsFairRanking",
+        "GeneralizedMallowsFairRanking",
+        "DetConstSort",
+        "ApproxMultiValuedIPF",
+        "GrBinaryIPF",
+        "IlpFairRanking",
+        "DpFairRanking",
+    }
+)
+
+
+@register_rule
+class LegacyConstructorRule(Rule):
+    id = "REP005"
+    summary = "legacy algorithm constructor call bypassing make_algorithm"
+    rationale = (
+        "The registry (repro.engine.registry.make_algorithm) is the one "
+        "construction path: it keeps serving surfaces name-driven, "
+        "silences the deprecation shims exactly once, and lets engine "
+        "sessions account per-algorithm cost. A direct constructor call "
+        "in library code re-opens the legacy path the shims deprecate."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not module_matches(ctx.module, ctx.config.registry_factories)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
+        if not isinstance(node, ast.Call):
+            return
+        name = dotted_name(node.func)
+        if name is not None and name.split(".")[-1] in _LEGACY_CONSTRUCTORS:
+            leaf = name.split(".")[-1]
+            yield _at(
+                node,
+                f"direct {leaf}(...) construction — use "
+                f"make_algorithm(name, ...) so the registry stays the "
+                "single construction path",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP006 — ordered-iteration discipline in digest-feeding modules
+# ---------------------------------------------------------------------------
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+#: Builtins whose result does not depend on their argument's iteration
+#: order — a generator over ``.items()`` fed straight into one of these is
+#: order-free by construction.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all"}
+)
+
+
+def _consumed_order_free(ctx: LintContext) -> bool:
+    """Whether the comprehension being visited is the direct argument of an
+    order-insensitive builtin (``sorted(x for x in d.items())``)."""
+    parent = ctx.parent()
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id in _ORDER_INSENSITIVE_CONSUMERS
+    )
+
+
+def _unordered_reason(expr: ast.AST) -> str | None:
+    """Why ``expr`` iterates in an unverifiable order, or ``None``."""
+    if isinstance(expr, ast.Set):
+        return "a set literal"
+    if isinstance(expr, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DICT_VIEWS
+            and not expr.args
+            and not expr.keywords
+        ):
+            return f".{func.attr}()"
+    return None
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    id = "REP006"
+    summary = "unordered-container iteration in a digest-feeding module"
+    rationale = (
+        "reports_digest/responses_digest are byte-equality contracts: "
+        "set iteration order varies across processes (hash "
+        "randomization), and dict views are only as deterministic as "
+        "every insertion path feeding them — which the reader cannot "
+        "check locally. sorted(...) makes the order part of the code."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return module_matches(ctx.module, ctx.config.digest_modules)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
+        iterables: list[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            if not _consumed_order_free(ctx):
+                iterables.extend(gen.iter for gen in node.generators)
+        for expr in iterables:
+            reason = _unordered_reason(expr)
+            if reason is not None:
+                yield _at(
+                    expr,
+                    f"iteration over {reason} in a digest-feeding module — "
+                    "wrap it in sorted(...) so the order is locally "
+                    "provable, or justify with a noqa why order cannot "
+                    "reach an artefact",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP007 — worker-visible error discipline
+# ---------------------------------------------------------------------------
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """A handler that cannot surface anything: every statement is ``pass``
+    (or a bare ``...``)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ) and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    id = "REP007"
+    summary = "bare/swallowed except in worker-executed code"
+    rationale = (
+        "Work units and the serving dispatcher run where nobody is "
+        "watching stderr: a bare `except:` also catches "
+        "KeyboardInterrupt/pool teardown, and a handler that only "
+        "passes converts a poisoned unit into a silent wrong answer or "
+        "a waiter that never completes. Catch precisely, and route the "
+        "error somewhere (re-raise, record, or respond)."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return module_matches(ctx.module, ctx.config.worker_modules)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
+        if not isinstance(node, ast.ExceptHandler):
+            return
+        if node.type is None:
+            yield _at(
+                node,
+                "bare `except:` in worker-executed code — it also catches "
+                "KeyboardInterrupt and executor teardown; name the "
+                "exception types",
+            )
+        elif _swallows(node):
+            yield _at(
+                node,
+                "swallowed exception in worker-executed code (handler "
+                "body only passes) — route the failure somewhere: "
+                "re-raise, record it, or answer the waiter with it",
+            )

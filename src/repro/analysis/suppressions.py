@@ -1,0 +1,138 @@
+"""The ``# repro: noqa[...]`` suppression comment parser.
+
+A finding is silenced by a marker comment **on its own line**::
+
+    start = time.perf_counter()  # repro: noqa[REP002] timing-only: ...
+
+Grammar:
+
+* ``# repro: noqa`` — suppress every rule on the line (blanket form;
+  prefer the bracketed form, which survives rule additions);
+* ``# repro: noqa[REP001]`` — suppress one rule;
+* ``# repro: noqa[REP001,REP006]`` — suppress several (comma-separated,
+  spaces allowed).
+
+Anything after the closing bracket is the justification — the linter does
+not parse it, but reviewers should expect one (a bare suppression says
+"trust me"; a justified one says why the invariant genuinely does not
+apply).  A suppression that matches no finding is *stale* and reported
+under the reserved id ``REP000`` by the engine, so dead markers cannot
+accumulate and quietly swallow the next real violation.
+
+Parsing is token-based (:mod:`tokenize`), so the marker text inside a
+string literal is inert — only real comments suppress.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The marker grammar; ``rules`` is the optional bracketed id list.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?",
+)
+
+#: Shape of one rule id inside the brackets.
+_RULE_ID_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: noqa`` marker.
+
+    ``rules`` is ``None`` for the blanket form, else the tuple of rule ids
+    (normalized to upper case, source order preserved).
+    """
+
+    line: int
+    col: int
+    rules: tuple[str, ...] | None = None
+
+    def covers(self, rule_id: str) -> bool:
+        """Whether this marker silences ``rule_id``."""
+        return self.rules is None or rule_id in self.rules
+
+    def render_rules(self) -> str:
+        """The bracketed id list as written (empty for the blanket form)."""
+        if self.rules is None:
+            return ""
+        return "[" + ",".join(self.rules) + "]"
+
+
+class SuppressionSyntaxError(ValueError):
+    """A marker comment that does not parse (e.g. an empty rule list)."""
+
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def parse_comment(comment: str, line: int, col: int) -> Suppression | None:
+    """Parse one comment token's text; ``None`` when it is not a marker.
+
+    >>> parse_comment("# repro: noqa[REP001, rep006] why", 3, 10)
+    Suppression(line=3, col=10, rules=('REP001', 'REP006'))
+    >>> parse_comment("# an ordinary comment", 1, 0) is None
+    True
+    """
+    match = _NOQA_RE.search(comment)
+    if match is None:
+        return None
+    spec = match.group("rules")
+    if spec is None:
+        if comment[match.end() : match.end() + 1] == "[":
+            # `noqa[...]` whose bracket list did not parse: refuse rather
+            # than silently downgrade a typo'd list to a blanket marker.
+            raise SuppressionSyntaxError(
+                line, "malformed rule id list after `# repro: noqa` "
+                "(expected noqa[REPnnn,REPnnn,...])"
+            )
+        return Suppression(line=line, col=col)
+    names = [name.strip() for name in spec.split(",")]
+    names = [name for name in names if name]
+    if not names:
+        raise SuppressionSyntaxError(
+            line, "empty rule list in `# repro: noqa[]` (drop the brackets "
+            "to suppress every rule, or name the rules)"
+        )
+    for name in names:
+        if not _RULE_ID_RE.match(name):
+            raise SuppressionSyntaxError(
+                line, f"malformed rule id {name!r} in noqa list"
+            )
+    return Suppression(
+        line=line, col=col, rules=tuple(name.upper() for name in names)
+    )
+
+
+def iter_suppressions(source: str) -> Iterator[Suppression]:
+    """Every marker in ``source``, in line order.
+
+    Raises :class:`SuppressionSyntaxError` for malformed markers; plain
+    tokenization failures end the scan silently (the engine reports the
+    syntax error through ``ast.parse`` instead, with a better message).
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            suppression = parse_comment(
+                token.string, token.start[0], token.start[1]
+            )
+            if suppression is not None:
+                yield suppression
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def find_suppressions(source: str) -> tuple[Suppression, ...]:
+    """All markers in ``source`` (one per line — a line's first wins)."""
+    by_line: dict[int, Suppression] = {}
+    for suppression in iter_suppressions(source):
+        by_line.setdefault(suppression.line, suppression)
+    return tuple(by_line[line] for line in sorted(by_line))

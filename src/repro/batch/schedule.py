@@ -185,7 +185,7 @@ def iter_units(
             futures[i] = executor.submit(
                 _run_unit_timed, units[i].fn, units[i].seed, units[i].payload
             )
-        index_of = {future: i for i, future in futures.items()}
+        index_of = {futures[i]: i for i in sorted(futures)}
         for future in as_completed(index_of):
             result, seconds = future.result()  # re-raise a failure promptly
             u = units[index_of[future]]
@@ -201,8 +201,8 @@ def iter_units(
         # abandoned the stream: drop everything still queued so the shared
         # pool doesn't grind on for results nobody will see.  Units already
         # running finish their current work and the pool stays usable.
-        for future in futures.values():
-            future.cancel()
+        for i in sorted(futures):
+            futures[i].cancel()
         raise
 
 

@@ -12,6 +12,8 @@ Examples
     repro-fair-ranking rank --algorithm mallows --scores scores.csv \\
         --groups groups.csv --param theta=1.0 --param n_samples=15
     repro-fair-ranking rank --list-algorithms
+    repro-fair-ranking lint src/ --format json
+    repro-fair-ranking lint src/repro/serve --select REP002,REP003
 
 Every command runs through one :class:`~repro.engine.RankingEngine`
 session per invocation: ``--jobs`` sets the session's worker budget
@@ -23,7 +25,10 @@ single pool, so the full pipeline scales with the core count rather than
 with its widest inner loop.  Reports are byte-identical for every value.
 ``rank`` serves the engine's algorithm registry directly: scores/groups
 from CSV files (or inline comma-separated values), algorithm parameters
-as ``--param key=value`` pairs, no Python required.
+as ``--param key=value`` pairs, no Python required.  ``lint`` runs the
+repository's own static-analysis gate (:mod:`repro.analysis`) — the REP
+rules that keep the determinism, sans-IO, and cache contracts honest —
+with shell-friendly exit codes: 0 clean, 1 findings, 2 usage/parse error.
 """
 
 from __future__ import annotations
@@ -244,6 +249,50 @@ def _build_parser() -> argparse.ArgumentParser:
              "(max batch 1) — and print the throughput ratio",
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        help=(
+            "run the repo's static-analysis rules (REP001-REP007: seeded "
+            "RNG, clock-free sans-IO, non-blocking async, cache/registry "
+            "discipline, sorted digest iteration, worker error hygiene); "
+            "exits 0 when clean, 1 on findings, 2 on usage/parse errors"
+        ),
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directory trees to lint (*.py)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: human text (default) or the CI JSON artefact",
+    )
+    p_lint.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    p_lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by `# repro: noqa[...]` markers",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules with their rationale and exit",
+    )
+
     p_all = sub.add_parser(
         "all",
         help=(
@@ -359,6 +408,76 @@ def _cmd_rank(args, engine: RankingEngine) -> int:
     stats = engine.stats()
     print(f"# engine: {stats.summary()}", file=sys.stderr)
     return 0
+
+
+class _LintUsageError(Exception):
+    """A ``lint`` usage problem (reported to stderr, exit code 2)."""
+
+
+def _parse_rule_list(spec: str | None, what: str) -> tuple[str, ...] | None:
+    """``--select``/``--ignore`` comma lists → validated rule-id tuples."""
+    from repro.analysis import STALE_RULE_ID, rule_ids
+
+    if spec is None:
+        return None
+    known = set(rule_ids()) | {STALE_RULE_ID}
+    names = tuple(
+        name.strip().upper() for name in spec.split(",") if name.strip()
+    )
+    if not names:
+        raise _LintUsageError(f"--{what} names no rules")
+    for name in names:
+        if name not in known:
+            raise _LintUsageError(
+                f"unknown rule {name!r} in --{what} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+    return names
+
+
+def _cmd_lint(args) -> int:
+    """The ``lint`` subcommand — the self-hosted static-analysis gate.
+
+    Exit codes are shell-friendly and CI-stable: ``0`` no unsuppressed
+    findings, ``1`` at least one finding (including stale suppressions),
+    ``2`` usage or parse errors (bad paths, bad rule ids, unparsable
+    Python, malformed noqa markers).
+    """
+    from repro.analysis import (
+        DEFAULT_CONFIG,
+        LintEngine,
+        iter_rules,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id}  {rule.summary}")
+            print(f"       {rule.rationale}")
+        return 0
+    try:
+        select = _parse_rule_list(args.select, "select")
+        ignore = _parse_rule_list(args.ignore, "ignore") or ()
+    except _LintUsageError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if not args.paths:
+        print("lint: at least one PATH is required", file=sys.stderr)
+        return 2
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"lint: no such file or directory: {path}", file=sys.stderr)
+            return 2
+    engine = LintEngine(DEFAULT_CONFIG.with_rules(select=select, ignore=ignore))
+    result = engine.lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    if result.errors:
+        return 2
+    return 0 if not result.active else 1
 
 
 def _serve_config(args):
@@ -479,6 +598,10 @@ def main(argv: list[str] | None = None) -> int:
     registry.
     """
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        # Static analysis needs no engine session (and must not pay for
+        # one): dispatch before the session spins up.
+        return _cmd_lint(args)
     engine = RankingEngine(n_jobs=getattr(args, "jobs", 1))
     pool = engine.pool
 

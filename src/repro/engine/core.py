@@ -198,7 +198,7 @@ class EngineStats:
         )
 
 
-def _as_request(obj, index: int) -> RankingRequest:
+def _as_request(obj: object, index: int) -> RankingRequest:
     """Coerce a ``rank_many`` element: a request, or ``(name, problem)``."""
     if isinstance(obj, RankingRequest):
         return obj
@@ -339,7 +339,9 @@ class RankingEngine:
     down).
     """
 
-    def __init__(self, config: EngineConfig | None = None, **overrides):
+    def __init__(
+        self, config: EngineConfig | None = None, **overrides: Any
+    ) -> None:
         if config is None:
             config = EngineConfig(**overrides)
         elif overrides:
@@ -385,7 +387,7 @@ class RankingEngine:
     def __enter__(self) -> "RankingEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def close(self) -> None:
@@ -420,7 +422,7 @@ class RankingEngine:
 
     # -- the serving surface --------------------------------------------------
 
-    def algorithm(self, name: str, /, **params) -> FairRankingAlgorithm:
+    def algorithm(self, name: str, /, **params: Any) -> FairRankingAlgorithm:
         """Construct algorithm ``name`` from the registry (no deprecation
         warning — this is the sanctioned path; see
         :func:`repro.engine.make_algorithm`)."""
@@ -433,7 +435,7 @@ class RankingEngine:
         problem: FairRankingProblem | None = None,
         *,
         seed: SeedLike = None,
-        **params,
+        **params: Any,
     ) -> RankingResponse:
         """Serve one request in-process.
 
@@ -724,7 +726,7 @@ class RankingEngine:
         )
 
     @contextmanager
-    def _session_context(self):
+    def _session_context(self) -> Iterator[None]:
         """The in-process installation of the session's owned state: its
         kernel cache, and the decode-crossover override (both restored on
         exit).  Used by :meth:`rank`; the streamed path installs the cache

@@ -51,7 +51,7 @@ class CostModel:
         ``0 < smoothing <= 1``; ``1`` keeps only the latest measurement.
     """
 
-    def __init__(self, smoothing: float = 0.5):
+    def __init__(self, smoothing: float = 0.5) -> None:
         if not 0.0 < smoothing <= 1.0:
             raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
         self.smoothing = float(smoothing)
@@ -143,7 +143,11 @@ class CostModel:
         """
         imported = 0
         with self._lock:
-            for kind, (seconds, count) in table.items():
+            # Sorted by label so the table's insertion order (visible in
+            # snapshot/to_jsonable renderings) is input-order independent.
+            for kind, (seconds, count) in sorted(
+                table.items(), key=lambda item: kind_label(item[0])
+            ):
                 seconds = float(seconds)
                 count = int(count)
                 if count <= 0 or not math.isfinite(seconds) or seconds < 0.0:
@@ -166,7 +170,7 @@ class CostModel:
         carrying junk) are skipped by the same rules as :meth:`merge`.
         """
         parsed: dict[Hashable, tuple[float, int]] = {}
-        for label, entry in table.items():
+        for label, entry in sorted(table.items()):
             try:
                 seconds = float(entry["ewma_seconds"])
                 count = int(entry["observations"])
@@ -234,7 +238,7 @@ def load_bench_cost_tables(*paths: "str | os.PathLike[str]") -> dict[str, dict[s
             table = metrics.get("cost_table")
             if not isinstance(table, Mapping):
                 continue
-            for label, entry in table.items():
+            for label, entry in sorted(table.items()):
                 if not isinstance(entry, Mapping):
                     continue
                 current = merged.get(label)

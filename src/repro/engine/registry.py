@@ -64,6 +64,12 @@ def register_algorithm(
     requires_protected_attribute: bool = True,
     aliases: tuple[str, ...] = (),
     overwrite: bool = False,
+) -> (
+    Callable[..., FairRankingAlgorithm]
+    | Callable[
+        [Callable[..., FairRankingAlgorithm]],
+        Callable[..., FairRankingAlgorithm],
+    ]
 ):
     """Register ``factory`` under ``name`` (usable as a decorator).
 
@@ -82,7 +88,9 @@ def register_algorithm(
         tarpit).
     """
 
-    def _register(fn: Callable[..., FairRankingAlgorithm]):
+    def _register(
+        fn: Callable[..., FairRankingAlgorithm],
+    ) -> Callable[..., FairRankingAlgorithm]:
         key = name.lower()
         alias_keys = [alias.lower() for alias in aliases]
         if not overwrite:
@@ -112,7 +120,7 @@ def unregister_algorithm(name: str) -> None:
     """Remove an entry and its aliases (primarily for tests)."""
     key = _ALIASES.pop(name.lower(), name.lower())
     _REGISTRY.pop(key, None)
-    for alias in [a for a, target in _ALIASES.items() if target == key]:
+    for alias in sorted(a for a, target in _ALIASES.items() if target == key):
         del _ALIASES[alias]
 
 
@@ -140,7 +148,7 @@ def iter_algorithm_specs() -> Iterator[AlgorithmSpec]:
         yield _REGISTRY[name]
 
 
-def make_algorithm(name: str, /, **params) -> FairRankingAlgorithm:
+def make_algorithm(name: str, /, **params: object) -> FairRankingAlgorithm:
     """Construct algorithm ``name`` with ``params`` — the registry path.
 
     Unlike the legacy class constructors this never emits a

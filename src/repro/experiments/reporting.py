@@ -24,7 +24,9 @@ def write_reports(
     """
     os.makedirs(output_dir, exist_ok=True)
     written: list[str] = []
-    for key, text in reports.items():
+    # Insertion order IS the artefact order (fig1..table1, as run_all
+    # composed them); sorting here would reorder the index and the digest.
+    for key, text in reports.items():  # repro: noqa[REP006] canonical order
         safe = _safe_filename(key)
         path = os.path.join(output_dir, f"{safe}.txt")
         with open(path, "w") as f:

@@ -253,7 +253,9 @@ def calibrate_decode_crossover(
         raise ValueError(f"calibration batch must have >= 1 rows, got {m}")
     if not n_grid or any(n < 1 for n in n_grid):
         raise ValueError(f"calibration grid must be positive, got {n_grid!r}")
-    rng = np.random.default_rng(0)
+    # Calibration shapes the dispatch threshold only — the decodes agree
+    # bit-for-bit — so its private fixed-seed stream never reaches results.
+    rng = np.random.default_rng(0)  # repro: noqa[REP001] timing-only draws
     crossover = None
     for n in sorted(n_grid):
         v = _displacement_draws(n, theta, m, rng)
@@ -262,7 +264,9 @@ def calibrate_decode_crossover(
         for fn in (_decode_chunk, _decode_chunk_fenwick):
             out = np.empty((m, n), dtype=np.int64)
             vT = np.ascontiguousarray(v.T)
-            start = time.perf_counter()
+            # This *is* a timing measurement: it picks the faster decode,
+            # never a different answer.
+            start = time.perf_counter()  # repro: noqa[REP002] speed-only
             if fn is _decode_chunk:
                 dtype = (
                     np.dtype(np.int16)
@@ -272,7 +276,9 @@ def calibrate_decode_crossover(
                 fn(center, vT, out, dtype)
             else:
                 fn(center, vT, out)
-            timings.append(time.perf_counter() - start)
+            timings.append(
+                time.perf_counter() - start  # repro: noqa[REP002] speed-only
+            )
         if timings[1] < timings[0]:
             if crossover is None:
                 crossover = n

@@ -52,7 +52,7 @@ class AdmissionPolicy:
         cost_budget: float,
         default_cost: float,
         max_queue_depth: int,
-    ):
+    ) -> None:
         if not cost_budget > 0.0:
             raise ValueError(f"cost_budget must be > 0, got {cost_budget}")
         if not default_cost > 0.0:

@@ -27,7 +27,7 @@ from repro.serve.protocol import Ticket
 class MicroBatcher:
     """Window-and-cap coalescing of admitted tickets (see module doc)."""
 
-    def __init__(self, window: float, max_batch_size: int):
+    def __init__(self, window: float, max_batch_size: int) -> None:
         if window < 0.0:
             raise ValueError(f"window must be >= 0, got {window}")
         if max_batch_size < 1:

@@ -33,7 +33,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.engine.core import RankingRequest, RankingResponse
+from repro.engine.core import RankingEngine, RankingRequest, RankingResponse
 from repro.engine.registry import algorithm_spec
 from repro.serve.admission import AdmissionPolicy, Decision
 from repro.serve.batching import MicroBatcher
@@ -60,7 +60,9 @@ class ServerCore:
     the core never reads a clock, never sleeps, never spawns anything.
     """
 
-    def __init__(self, engine, config: ServeConfig | None = None):
+    def __init__(
+        self, engine: RankingEngine, config: ServeConfig | None = None
+    ) -> None:
         self.engine = engine
         self.config = config if config is not None else ServeConfig()
         self.policy = AdmissionPolicy(

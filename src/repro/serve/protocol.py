@@ -126,7 +126,7 @@ class ServerOverloaded(ServeError):
         cost_budget: float,
         queue_depth: int,
         max_queue_depth: int,
-    ):
+    ) -> None:
         self.predicted_cost = predicted_cost
         self.inflight_cost = inflight_cost
         self.cost_budget = cost_budget
@@ -153,7 +153,7 @@ class DeadlineExceeded(ServeError):
 
     def __init__(
         self, *, request_id: Any, deadline: float, dispatched: bool
-    ):
+    ) -> None:
         self.request_id = request_id
         self.deadline = deadline
         self.dispatched = dispatched

@@ -74,8 +74,8 @@ class AsyncRankingServer:
         self,
         engine: RankingEngine,
         config: ServeConfig | None = None,
-        **overrides,
-    ):
+        **overrides: Any,
+    ) -> None:
         if config is None:
             config = ServeConfig(**overrides)
         elif overrides:
@@ -132,7 +132,7 @@ class AsyncRankingServer:
     async def __aenter__(self) -> "AsyncRankingServer":
         return await self.start()
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.stop()
 
     async def stop(self, *, drain: bool = True) -> None:
@@ -215,7 +215,7 @@ class AsyncRankingServer:
         deadline: float | None = None,
         seed: SeedLike = None,
         request_id: Any = None,
-        **params,
+        **params: Any,
     ) -> RankingResponse:
         """Inline-form convenience over :meth:`submit` (mirrors
         ``engine.rank("mallows", problem, theta=1.0)``)."""

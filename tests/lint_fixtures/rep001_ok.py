@@ -1,0 +1,17 @@
+"""REP001 true negatives: randomness arrives as a parameter, and the
+explicit-seeding types are constructible anywhere.
+
+Linted as ``repro.fairness.fixture`` — same scope as the violations.
+"""
+
+import numpy as np
+
+
+def seeded_compute(rng: np.random.Generator, n: int):
+    return rng.permutation(n)
+
+
+def spawn_children(seed):
+    root = np.random.SeedSequence(seed)
+    bit = np.random.PCG64(root)
+    return np.random.Generator(bit)

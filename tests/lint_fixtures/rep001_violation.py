@@ -1,0 +1,22 @@
+"""REP001 true positives: global RNG use in compute code.
+
+Linted as ``repro.fairness.fixture`` (not a seeded entry point).
+"""
+
+import random
+
+import numpy as np
+
+
+def fork_a_stream():
+    rng = np.random.default_rng(42)  # expect: REP001
+    return rng.uniform()
+
+
+def mutate_global_state(n):
+    np.random.seed(0)  # expect: REP001
+    return np.random.rand(n)  # expect: REP001
+
+
+def stdlib_draw():
+    return random.random()  # expect: REP001

@@ -1,0 +1,12 @@
+"""REP002 true negatives: transitions take an explicit ``now``.
+
+Linted as ``repro.serve.core`` — same scope as the violations.
+"""
+
+
+def expire(waiters, now: float):
+    return [w for w in waiters if w.deadline < now]
+
+
+def next_event_at(queue, now: float):
+    return min((t.deadline for t in queue), default=now)

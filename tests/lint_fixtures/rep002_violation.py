@@ -1,0 +1,21 @@
+"""REP002 true positives: clock reads in a sans-IO module.
+
+Linted as ``repro.serve.core`` (a clock-free module).
+"""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def expire(waiters):
+    now = time.monotonic()  # expect: REP002
+    return [w for w in waiters if w.deadline < now]
+
+
+def stamp():
+    return datetime.now()  # expect: REP002
+
+
+def imported_name_resolves():
+    return monotonic()  # expect: REP002

@@ -1,0 +1,24 @@
+"""REP003 true negatives: awaited async APIs, executor hops, and sync
+helpers (a sync body may block — it runs off-loop).
+
+Linted as ``repro.serve.handler`` — same scope as the violations.
+"""
+
+import asyncio
+import functools
+import time
+
+
+async def handle(server, request):
+    await asyncio.sleep(0.01)
+    return await server.rank(request)
+
+
+async def dispatch(loop, executor, engine, batch):
+    fn = functools.partial(engine.rank_many_submit, batch)
+    return await loop.run_in_executor(executor, fn)
+
+
+def sync_helper(engine, request):
+    time.sleep(0.01)
+    return engine.rank(request)

@@ -1,0 +1,21 @@
+"""REP003 true positives: blocking calls on the event loop.
+
+Linted as ``repro.serve.handler`` (inside the serving tier).
+"""
+
+import subprocess
+import time
+
+
+async def handle(engine, request):
+    time.sleep(0.01)  # expect: REP003
+    response = engine.rank(request)  # expect: REP003
+    return response
+
+
+async def snapshot(engine, requests, path):
+    fh = open(path)  # expect: REP003
+    data = fh.read()
+    fh.close()
+    out = subprocess.run(["true"])  # expect: REP003
+    return engine.rank_many(requests), data, out  # expect: REP003

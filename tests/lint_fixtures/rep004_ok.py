@@ -1,0 +1,16 @@
+"""REP004 true negatives: kernels reach memoization through
+``active_cache()``; reading stats is not mutation.
+
+Linted as ``repro.batch.kernels`` — same scope as the violations.
+"""
+
+from repro.batch.cache import DEFAULT_CACHE, active_cache
+
+
+def violation_masks(constraints, n):
+    lower32, upper32 = active_cache().violation_bounds32(constraints, n)
+    return lower32, upper32
+
+
+def report_effectiveness():
+    return DEFAULT_CACHE.stats()

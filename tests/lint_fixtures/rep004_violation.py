@@ -1,0 +1,21 @@
+"""REP004 true positives: cache construction/mutation outside the owners.
+
+Linted as ``repro.batch.kernels`` (a kernel call site, not a cache owner).
+"""
+
+from repro.batch import cache
+from repro.batch.cache import DEFAULT_CACHE, KernelCache
+
+
+def private_cache_on_the_side():
+    mine = KernelCache(8)  # expect: REP004
+    return mine
+
+
+def cold_path_hack():
+    DEFAULT_CACHE.clear()  # expect: REP004
+    cache.DEFAULT_CACHE.invalidate_marginals()  # expect: REP004
+
+
+def swap_the_global():
+    cache.DEFAULT_CACHE = KernelCache()  # expect: REP004, REP004

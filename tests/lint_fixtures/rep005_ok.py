@@ -1,0 +1,14 @@
+"""REP005 true negatives: the registry path.
+
+Linted as ``repro.experiments.new_exp`` — same scope as the violations.
+"""
+
+from repro.engine import make_algorithm
+
+
+def build_through_the_registry(theta):
+    return make_algorithm("mallows", theta=theta, n_samples=50)
+
+
+def by_name(name, **params):
+    return make_algorithm(name, **params)

@@ -1,0 +1,22 @@
+"""REP005 true positives: legacy constructors bypassing the registry.
+
+Linted as ``repro.experiments.new_exp`` (library code, not a factory).
+"""
+
+from repro.algorithms.dp import DpFairRanking
+from repro.algorithms.mallows_postprocess import MallowsFairRanking
+
+from repro import algorithms
+
+
+def build_the_old_way(theta):
+    algo = MallowsFairRanking(theta=theta, n_samples=50)  # expect: REP005
+    return algo
+
+
+def qualified_call():
+    return algorithms.dp.DpFairRanking()  # expect: REP005
+
+
+def local_alias():
+    return DpFairRanking()  # expect: REP005

@@ -1,0 +1,23 @@
+"""REP006 true negatives: sorted wrapping, order-insensitive consumers,
+and sequences (lists iterate in a locally provable order).
+
+Linted as ``repro.engine.newmod`` — same scope as the violations.
+"""
+
+
+def hash_results(results: dict, h):
+    for key, value in sorted(results.items()):
+        h.update(repr((key, value)).encode())
+
+
+def collect_kinds(units):
+    return sorted(u.kind for u in units)
+
+
+def total_seconds(table: dict):
+    return sum(entry for entry in table.values())
+
+
+def over_a_sequence(units: list):
+    for unit in units:
+        yield unit.key

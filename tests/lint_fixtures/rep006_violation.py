@@ -1,0 +1,28 @@
+"""REP006 true positives: unordered iteration feeding a digest.
+
+Linted as ``repro.engine.newmod`` (a digest-feeding module).
+"""
+
+
+def hash_results(results: dict, h):
+    for key, value in results.items():  # expect: REP006
+        h.update(repr((key, value)).encode())
+
+
+def collect_kinds(units):
+    kinds = {u.kind for u in units}
+    for kind in kinds:  # hits the set() call below, not this name
+        pass
+    for kind in set(u.kind for u in units):  # expect: REP006
+        yield kind
+
+
+def labels_of(table: dict):
+    return [label for label in table.keys()]  # expect: REP006
+
+
+def from_literal():
+    out = []
+    for name in {"dp", "ipf", "mallows"}:  # expect: REP006
+        out.append(name)
+    return out

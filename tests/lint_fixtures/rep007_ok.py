@@ -1,0 +1,26 @@
+"""REP007 true negatives: precise handlers that route the failure.
+
+Linted as ``repro.batch.schedule`` — same scope as the violations.
+"""
+
+import pickle
+
+
+def run_unit_guarded(fn, seed, payload):
+    try:
+        return True, fn(seed, *payload)
+    except Exception as exc:
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        return False, exc
+
+
+def cancel_rest(futures):
+    try:
+        yield from futures
+    except BaseException:
+        for i in sorted(futures):
+            futures[i].cancel()
+        raise

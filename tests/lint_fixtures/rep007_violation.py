@@ -1,0 +1,25 @@
+"""REP007 true positives: invisible failures in worker-executed code.
+
+Linted as ``repro.batch.schedule`` (worker-executed).
+"""
+
+
+def run_unit(fn, seed, payload):
+    try:
+        return fn(seed, *payload)
+    except:  # expect: REP007
+        return None
+
+
+def initializer(state):
+    try:
+        state.setup()
+    except Exception:  # expect: REP007
+        pass
+
+
+def probe(worker):
+    try:
+        worker.ping()
+    except OSError:  # expect: REP007
+        ...

@@ -1,0 +1,32 @@
+"""Suppression fixtures: justified markers, a blanket marker, a multi-rule
+line, and two stale markers.
+
+Linted as ``repro.engine.newmod`` (digest scope, not a seeded entry
+point) — REP006/REP001 fire on the unsuppressed shapes, and the markers
+silence or miss as tagged.
+"""
+
+import numpy as np
+
+
+def justified(results: dict, h):
+    for key, value in results.items():  # repro: noqa[REP006] hash is order-free
+        h.update(repr((key, value)).encode())
+
+
+def blanket(table: dict):
+    return [k for k in table.keys()]  # repro: noqa
+
+
+def multi_rule():
+    out = []
+    for x in set(np.random.default_rng(0).permutation(3)):  # repro: noqa[REP001, REP006] both fire here
+        out.append(x)
+    return out
+
+
+def stale_markers(units: list):
+    total = 0
+    for unit in units:  # repro: noqa[REP006] stale: lists are ordered  # expect: REP000
+        total += unit
+    return total  # repro: noqa  # expect: REP000

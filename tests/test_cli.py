@@ -159,6 +159,92 @@ class TestRankCommand:
             ])
 
 
+class TestLintCommand:
+    """The static-analysis gate: shell-friendly exit codes (0 clean,
+    1 findings, 2 usage/parse error) and both report formats."""
+
+    SRC = __file__.replace("test_cli.py", "") + "../src/repro"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", self.SRC]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "core.py"
+        # Linted by path: outside any package the file is scope-neutral,
+        # so use an everywhere-on rule (REP004).
+        bad.write_text(
+            "from repro.batch.cache import KernelCache\n"
+            "CACHE = KernelCache()\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REP004" in out and "1 finding" in out
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "syntax error" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "definitely/not/here"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_no_paths_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "PATH is required" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", self.SRC, "--select", "REP999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_bad_format_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", self.SRC, "--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        import json as _json
+
+        bad = tmp_path / "core.py"
+        bad.write_text(
+            "from repro.batch.cache import KernelCache\n"
+            "CACHE = KernelCache()\n"
+        )
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "REP004"
+        assert payload["findings"][0]["line"] == 2
+
+    def test_select_narrows_the_gate(self, tmp_path, capsys):
+        bad = tmp_path / "core.py"
+        bad.write_text(
+            "from repro.batch.cache import KernelCache\n"
+            "CACHE = KernelCache()\n"
+        )
+        assert main(["lint", str(bad), "--select", "REP001"]) == 0
+        capsys.readouterr()
+
+    def test_suppressed_findings_exit_zero(self, tmp_path, capsys):
+        ok = tmp_path / "core.py"
+        ok.write_text(
+            "from repro.batch.cache import KernelCache\n"
+            "CACHE = KernelCache()  # repro: noqa[REP004] test fixture\n"
+        )
+        assert main(["lint", str(ok)]) == 0
+        out = capsys.readouterr().out
+        assert "(1 suppressed" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP004", "REP007"):
+            assert rule_id in out
+
+
 class TestServeCommand:
     def test_parser_defaults(self):
         args = _build_parser().parse_args(["serve"])

@@ -1,0 +1,180 @@
+"""Tests for the ``# repro: noqa[...]`` suppression machinery: the parser
+itself, finding/suppression matching, multi-rule lines, and stale
+detection (a marker that silences nothing is itself reported)."""
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_CONFIG,
+    LintEngine,
+    STALE_RULE_ID,
+    SuppressionSyntaxError,
+    find_suppressions,
+    lint_source,
+)
+from repro.analysis.suppressions import parse_comment
+
+
+class TestParser:
+    def test_bare_noqa_covers_everything(self):
+        [s] = find_suppressions("x = 1  # repro: noqa\n")
+        assert s.line == 1
+        assert s.rules is None
+        assert s.covers("REP001") and s.covers("REP007")
+
+    def test_single_rule(self):
+        [s] = find_suppressions("x = 1  # repro: noqa[REP002] why\n")
+        assert s.rules == ("REP002",)
+        assert s.covers("REP002") and not s.covers("REP001")
+
+    def test_rule_list_with_spaces_and_case(self):
+        [s] = find_suppressions("x = 1  # repro: noqa[rep001 , REP006]\n")
+        assert s.rules == ("REP001", "REP006")
+
+    def test_justification_text_is_ignored(self):
+        [s] = find_suppressions(
+            "x = 1  # repro: noqa[REP001] calibration is timing-only\n"
+        )
+        assert s.rules == ("REP001",)
+
+    def test_marker_inside_string_is_inert(self):
+        assert find_suppressions('x = "# repro: noqa[REP001]"\n') == ()
+
+    def test_ordinary_comments_are_not_markers(self):
+        assert find_suppressions("x = 1  # a normal comment about noqa-ish\n") == ()
+
+    def test_multiline_file_line_numbers(self):
+        source = "a = 1\nb = 2  # repro: noqa[REP004]\nc = 3  # repro: noqa\n"
+        lines = [s.line for s in find_suppressions(source)]
+        assert lines == [2, 3]
+
+    def test_empty_bracket_list_is_an_error(self):
+        with pytest.raises(SuppressionSyntaxError, match="empty rule list"):
+            find_suppressions("x = 1  # repro: noqa[]\n")
+
+    def test_malformed_rule_id_is_an_error(self):
+        with pytest.raises(SuppressionSyntaxError, match="malformed rule id"):
+            find_suppressions("x = 1  # repro: noqa[REP001; REP002]\n")
+
+    def test_parse_comment_none_for_plain_comment(self):
+        assert parse_comment("# nothing to see", 1, 0) is None
+
+
+SOURCE_ONE_VIOLATION = (
+    "import time\n"
+    "def f():\n"
+    "    return time.time(){marker}\n"
+)
+
+
+def lint_serve(source):
+    return lint_source(source, path="core.py", module="repro.serve.core")
+
+
+class TestMatching:
+    def test_inline_noqa_without_rule_list_suppresses(self):
+        result = lint_serve(
+            SOURCE_ONE_VIOLATION.format(marker="  # repro: noqa")
+        )
+        assert result.active == ()
+        [finding] = result.suppressed
+        assert (finding.rule, finding.line) == ("REP002", 3)
+
+    def test_inline_noqa_with_matching_rule_suppresses(self):
+        result = lint_serve(
+            SOURCE_ONE_VIOLATION.format(marker="  # repro: noqa[REP002] why")
+        )
+        assert result.active == ()
+        assert [f.rule for f in result.suppressed] == ["REP002"]
+
+    def test_inline_noqa_with_other_rule_does_not_suppress(self):
+        result = lint_serve(
+            SOURCE_ONE_VIOLATION.format(marker="  # repro: noqa[REP001]")
+        )
+        rules = sorted(f.rule for f in result.active)
+        # The clock read stays active AND the useless marker is stale.
+        assert rules == [STALE_RULE_ID, "REP002"]
+
+    def test_noqa_on_a_different_line_does_not_suppress(self):
+        source = (
+            "import time\n"
+            "# repro: noqa[REP002] wrong line\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        result = lint_serve(source)
+        assert sorted(f.rule for f in result.active) == [STALE_RULE_ID, "REP002"]
+
+    def test_multi_rule_line_one_marker_covers_both(self):
+        source = (
+            "import numpy as np\n"
+            "def f(units):\n"
+            "    return [x for x in set(np.random.default_rng(0).permutation(3))]"
+            "  # repro: noqa[REP001, REP006]\n"
+        )
+        result = lint_source(source, module="repro.engine.newmod")
+        assert result.active == ()
+        assert sorted(f.rule for f in result.suppressed) == ["REP001", "REP006"]
+
+    def test_multi_rule_line_partial_marker_leaves_the_rest(self):
+        source = (
+            "import numpy as np\n"
+            "def f(units):\n"
+            "    return [x for x in set(np.random.default_rng(0).permutation(3))]"
+            "  # repro: noqa[REP001]\n"
+        )
+        result = lint_source(source, module="repro.engine.newmod")
+        assert [f.rule for f in result.active] == ["REP006"]
+        assert [f.rule for f in result.suppressed] == ["REP001"]
+
+
+class TestStaleDetection:
+    def test_stale_bracketed_noqa_is_reported(self):
+        result = lint_serve("x = 1  # repro: noqa[REP002] nothing here\n")
+        [stale] = result.active
+        assert stale.rule == STALE_RULE_ID
+        assert stale.line == 1
+        assert "stale suppression" in stale.message
+        assert "noqa[REP002]" in stale.message
+
+    def test_stale_bare_noqa_is_reported(self):
+        result = lint_serve("x = 1  # repro: noqa\n")
+        [stale] = result.active
+        assert stale.rule == STALE_RULE_ID
+
+    def test_useful_marker_is_not_stale(self):
+        result = lint_serve(
+            SOURCE_ONE_VIOLATION.format(marker="  # repro: noqa[REP002]")
+        )
+        assert all(f.rule != STALE_RULE_ID for f in result.findings)
+
+    def test_stale_check_skipped_for_unselected_rules(self):
+        # Under --select REP006 a noqa[REP002] is dormant, not stale.
+        config = DEFAULT_CONFIG.with_rules(select=("REP006",))
+        result = LintEngine(config).lint_source(
+            "x = 1  # repro: noqa[REP002]\n",
+            path="core.py",
+            module="repro.serve.core",
+        )
+        assert result.findings == ()
+
+    def test_stale_check_for_bare_noqa_needs_full_rule_set(self):
+        config = DEFAULT_CONFIG.with_rules(select=("REP006",))
+        result = LintEngine(config).lint_source(
+            "x = 1  # repro: noqa\n", path="core.py", module="repro.serve.core"
+        )
+        assert result.findings == ()
+
+    def test_stale_detection_can_be_ignored(self):
+        config = DEFAULT_CONFIG.with_rules(ignore=(STALE_RULE_ID,))
+        result = LintEngine(config).lint_source(
+            "x = 1  # repro: noqa[REP002]\n",
+            path="core.py",
+            module="repro.serve.core",
+        )
+        assert result.findings == ()
+
+    def test_malformed_marker_is_a_lint_error_not_a_crash(self):
+        result = lint_serve("x = 1  # repro: noqa[]\n")
+        assert result.errors and result.errors[0].line == 1
+        assert not result.clean
