@@ -47,6 +47,19 @@ byte-identical to the serial loop over the same submissions — see
 ``examples/serving_async.py`` and the ``repro serve`` / ``repro
 bench-client`` CLI commands.
 
+Pooled scheduling is fault tolerant (:mod:`repro.faults`): a worker
+death mid-run is recovered by rebuilding the pool and resubmitting the
+unserved units with their *original* seeds under a bounded
+``RetryPolicy`` — recovery never changes a digest, only wall-time.
+When the budget is exhausted a batch run degrades to inline execution,
+while the serving tier raises ``PoolRecoveryExhausted`` and trips a
+circuit breaker (shed with Retry-After, probe, re-admit).  The
+deterministic chaos harness drives it all in tests and CI::
+
+    from repro.faults import inject_faults, parse_fault_specs
+    with inject_faults(parse_fault_specs("*:0:exit")):
+        reports = run_all(fast=True, n_jobs=2)  # byte-equal to serial
+
 These contracts are machine-checked: ``repro lint src/``
 (:mod:`repro.analysis`, a stdlib-``ast`` linter) statically enforces the
 determinism, sans-IO, and cache-discipline invariants — seeded RNG entry
@@ -62,7 +75,11 @@ The package layers:
   scheduling;
 * :mod:`repro.serve` — the async serving tier over one engine session:
   coalescing micro-batches, cost-priced admission control, per-request
-  deadlines/cancellation, and the synthetic load generator;
+  deadlines/cancellation, the health circuit breaker, and the synthetic
+  load generator;
+* :mod:`repro.faults` — fault-tolerant scheduling: supervised pool
+  recovery under bounded retries, fault/rebuild telemetry, and the
+  deterministic fault-injection harness;
 * :mod:`repro.batch` — the batched evaluation engine: ``(m, n)`` ranking
   batches, vectorized distance/fairness kernels, the process-pool fan-out
   and the work-unit scheduler underneath the serving facade;

@@ -131,7 +131,20 @@ class LintConfig:
         "repro.batch.parallel",
         "repro.batch.schedule",
         "repro.engine.core",
+        "repro.faults",
         "repro.serve.server",
+    )
+
+    # -- REP008: bounded-retry discipline ----------------------------------
+    #: Code that dispatches work or serves requests, where an unbounded
+    #: retry loop turns a persistent fault into a spin.  The supervised
+    #: recovery layer itself is in scope — its budgets are the point.
+    retry_modules: tuple[str, ...] = (
+        "repro.batch.parallel",
+        "repro.batch.schedule",
+        "repro.engine.core",
+        "repro.faults",
+        "repro.serve",
     )
 
     def enabled(self, rule_id: str) -> bool:

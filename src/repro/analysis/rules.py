@@ -26,6 +26,11 @@ until now, *check*:
 * **REP007** — exceptions in worker-executed code must surface: a bare
   ``except:`` (or a swallowed handler) turns a poisoned work unit into a
   silent wrong answer or a hung waiter.
+* **REP008** — retries in worker-dispatch and serving code must be
+  bounded: a ``while True`` whose exception handler unconditionally
+  ``continue``\\ s spins forever against a persistent fault; every retry
+  loop needs a max-attempts escape (the :class:`repro.faults.RetryPolicy`
+  pattern).
 
 Every rule is suppressible per line with ``# repro: noqa[REPnnn]`` plus a
 justification — see :mod:`repro.analysis.suppressions`.
@@ -492,3 +497,116 @@ class SwallowedExceptionRule(Rule):
                 "body only passes) — route the failure somewhere: "
                 "re-raise, record it, or answer the waiter with it",
             )
+
+
+# ---------------------------------------------------------------------------
+# REP008 — bounded-retry discipline
+# ---------------------------------------------------------------------------
+
+
+def _is_unbounded_loop(node: ast.AST, ctx: LintContext) -> bool:
+    """``while True`` (or ``while 1``), or ``for … in itertools.count()``."""
+    if isinstance(node, ast.While):
+        test = node.test
+        return isinstance(test, ast.Constant) and bool(test.value)
+    if isinstance(node, ast.For) and isinstance(node.iter, ast.Call):
+        return _call_dotted(node.iter, ctx) == "itertools.count"
+    return False
+
+
+def _loop_level_statements(loop: ast.While | ast.For) -> Iterator[ast.stmt]:
+    """Statements at this loop's own level: descend through ifs/withs/tries,
+    but never into nested loops or function/class definitions (their
+    `continue`/`break` bind elsewhere)."""
+    stack: list[ast.stmt] = list(loop.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(
+            stmt,
+            (
+                ast.While,
+                ast.For,
+                ast.AsyncFor,
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+            ),
+        ):
+            continue
+        yield stmt
+        for field_name in ("body", "orelse", "finalbody", "handlers"):
+            for child in getattr(stmt, field_name, ()) or ():
+                if isinstance(child, ast.ExceptHandler):
+                    stack.extend(child.body)
+                elif isinstance(child, ast.stmt):
+                    stack.append(child)
+
+
+def _retries_unconditionally(handler: ast.ExceptHandler) -> bool:
+    """A handler that loops again on failure with no escape: it contains a
+    ``continue`` and no ``raise``/``break``/``return`` at the handler's own
+    level (an escape statement is what bounds the retry)."""
+    retries = False
+    stack: list[ast.stmt] = list(handler.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(
+            stmt,
+            (
+                ast.While,
+                ast.For,
+                ast.AsyncFor,
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+            ),
+        ):
+            continue
+        if isinstance(stmt, (ast.Raise, ast.Break, ast.Return)):
+            return False
+        if isinstance(stmt, ast.Continue):
+            retries = True
+        for field_name in ("body", "orelse", "finalbody", "handlers"):
+            for child in getattr(stmt, field_name, ()) or ():
+                if isinstance(child, ast.ExceptHandler):
+                    stack.extend(child.body)
+                elif isinstance(child, ast.stmt):
+                    stack.append(child)
+    return retries
+
+
+@register_rule
+class UnboundedRetryRule(Rule):
+    id = "REP008"
+    summary = "unbounded retry loop in worker-dispatch/serving code"
+    rationale = (
+        "A `while True` that catches a failure and `continue`s with no "
+        "max-attempts escape turns a persistent fault (a dead pool, a "
+        "server that always sheds) into a spin: infinite resubmission "
+        "with no backoff and no way out. Bound the retry — count "
+        "attempts against a budget and raise/break/return when it is "
+        "spent (RetryPolicy is the house pattern)."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return module_matches(ctx.module, ctx.config.retry_modules)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
+        if not isinstance(node, (ast.While, ast.For)):
+            return
+        if not _is_unbounded_loop(node, ctx):
+            return
+        for stmt in _loop_level_statements(node):
+            if not isinstance(stmt, ast.Try):
+                continue
+            for handler in stmt.handlers:
+                if _retries_unconditionally(handler):
+                    yield _at(
+                        node,
+                        "unbounded retry: this loop never terminates and "
+                        "its exception handler re-enters it "
+                        "unconditionally — bound the attempts (raise/"
+                        "break/return once a budget is spent, cf. "
+                        "repro.faults.RetryPolicy) or add an escape",
+                    )
+                    return

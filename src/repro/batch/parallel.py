@@ -137,6 +137,26 @@ def _mark_worker() -> None:
     _IN_WORKER = True
 
 
+def _init_worker(plan: object = None) -> None:
+    """Executor initializer: mark the pool child and, in chaos lanes,
+    activate the fault-injection plan the parent configured.
+
+    ``plan`` is the parent's :class:`repro.faults.InjectionPlan` (or
+    ``None`` outside chaos runs); shipping it through ``initargs`` is what
+    makes injection deterministic — every worker of an executor carries
+    the same plan from birth, so a fault fires on the same ``(unit key,
+    attempt)`` pair regardless of which worker draws the unit.
+    """
+    _mark_worker()
+    if plan is not None:
+        # Lazy: repro.faults.injection configures plans *through* this
+        # module (install_plan evicts executors), so a top-level import
+        # would be circular.
+        from repro.faults.injection import _install_worker_plan
+
+        _install_worker_plan(plan)  # type: ignore[arg-type]
+
+
 def in_worker() -> bool:
     """Whether this process is a pool child of the shared executors."""
     return _IN_WORKER
@@ -205,8 +225,12 @@ atexit.register(shutdown_workers)
 def _get_executor(n_jobs: int) -> ProcessPoolExecutor:
     executor = _EXECUTORS.get(n_jobs)
     if executor is None:
+        from repro.faults.injection import configured_plan  # lazy: cycle
+
         executor = ProcessPoolExecutor(
-            max_workers=n_jobs, initializer=_mark_worker
+            max_workers=n_jobs,
+            initializer=_init_worker,
+            initargs=(configured_plan(),),
         )
         _EXECUTORS[n_jobs] = executor
     return executor
@@ -400,8 +424,11 @@ def mallows_sample_and_score(
     try:
         results = list(executor.map(_run_shard, tasks))
     except BrokenProcessPool:
-        _EXECUTORS.pop(n_jobs, None)
-        executor.shutdown(wait=False, cancel_futures=True)
+        # Row-shard fan-out stays fail-fast (crash recovery lives at the
+        # unit scheduler); the shared cleanup just evicts the dead pool.
+        from repro.faults.supervisor import evict_broken_pool
+
+        evict_broken_pool(n_jobs, executor)
         raise
 
     def _concat(parts: list[np.ndarray | None]) -> np.ndarray | None:
@@ -505,7 +532,9 @@ def run_trials(
     try:
         shard_results = list(executor.map(_run_trial_shard, tasks))
     except BrokenProcessPool:
-        _EXECUTORS.pop(n_jobs, None)
-        executor.shutdown(wait=False, cancel_futures=True)
+        # Trial-shard fan-out stays fail-fast too; see evict_broken_pool.
+        from repro.faults.supervisor import evict_broken_pool
+
+        evict_broken_pool(n_jobs, executor)
         raise
     return [result for shard in shard_results for result in shard]

@@ -39,6 +39,12 @@ Task-graph / seed-tree contract
 * Units are submitted heaviest-``weight``-first (longest-processing-time
   order), so a late long-running panel repeat cannot serialize the tail of
   the schedule.  Weights only shape the schedule, never the results.
+* The pooled path is supervised (:mod:`repro.faults`): worker crashes
+  rebuild the executor and resubmit the unserved units with their original
+  seeds under a bounded :class:`~repro.faults.policy.RetryPolicy`, so one
+  OOM-killed worker no longer aborts a whole pipeline — and because every
+  unit is a pure function of ``(fn, seed, payload)``, recovery never
+  changes a digest.
 * The pool is the same per-``n_jobs`` pooled executor the inner-loop
   primitives use, and pool children are barred from nesting pools
   (:func:`~repro.batch.parallel.effective_n_jobs` forces ``n_jobs=1``
@@ -54,18 +60,14 @@ each experiment spinning up its own fan-out.
 from __future__ import annotations
 
 import time
-from concurrent.futures import as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 import numpy as np
 
-from repro.batch.parallel import (
-    _EXECUTORS,
-    _get_executor,
-    effective_n_jobs,
-)
+from repro.batch.parallel import effective_n_jobs
+from repro.faults.policy import RetryPolicy
+from repro.faults.supervisor import FaultCounters, supervise_units
 
 
 @dataclass(frozen=True)
@@ -146,6 +148,8 @@ def iter_units(
     units: Iterable[WorkUnit],
     *,
     n_jobs: int = 1,
+    policy: RetryPolicy | None = None,
+    counters: FaultCounters | None = None,
 ) -> Iterator[CompletedUnit]:
     """Run every unit through the shared ``n_jobs`` pool, yielding each as a
     :class:`CompletedUnit` **as it finishes** — the streaming twin of
@@ -160,8 +164,20 @@ def iter_units(
     partial results (streaming response loops, live report rendering)
     overlap their downstream work with the tail of the schedule.
 
-    If a unit raises, the failure propagates at the point of iteration and
-    every not-yet-started unit is cancelled.  Abandoning the iterator early
+    The pooled path is *supervised*: if a worker process dies
+    (``BrokenProcessPool`` — a crash fault), the executor is rebuilt and
+    the unserved units are resubmitted with their original seeds under
+    ``policy`` (default :data:`~repro.faults.policy.DEFAULT_RETRY_POLICY`),
+    which bounds attempts per unit and rebuilds per run and finally
+    degrades to inline execution (or raises
+    :class:`~repro.exceptions.PoolRecoveryExhausted`, per the policy).
+    Retries are digest-neutral — same ``(fn, seed, payload)``, same bytes.
+    Recovery activity is tallied into ``counters`` (when given) and the
+    process-wide :data:`~repro.faults.supervisor.GLOBAL_FAULTS`.
+
+    If a unit raises (an *application* fault), the failure propagates at
+    the point of iteration — never retried — and every not-yet-started
+    unit is cancelled.  Abandoning the iterator early
     (``close()``/``break``) likewise cancels whatever has not started.
     """
     units = list(units)
@@ -175,35 +191,13 @@ def iter_units(
             )
         return
 
-    executor = _get_executor(n_jobs)
-    # Longest-processing-time dispatch: heaviest units enter the pool first
-    # (ties keep input order — sort is stable), so stragglers start early.
-    order = sorted(range(len(units)), key=lambda i: -units[i].weight)
-    futures: dict[int, Any] = {}
-    try:
-        for i in order:
-            futures[i] = executor.submit(
-                _run_unit_timed, units[i].fn, units[i].seed, units[i].payload
-            )
-        index_of = {futures[i]: i for i in sorted(futures)}
-        for future in as_completed(index_of):
-            result, seconds = future.result()  # re-raise a failure promptly
-            u = units[index_of[future]]
-            yield CompletedUnit(
-                key=u.key, result=result, seconds=seconds, kind=u.kind
-            )
-    except BrokenProcessPool:
-        _EXECUTORS.pop(n_jobs, None)
-        executor.shutdown(wait=False, cancel_futures=True)
-        raise
-    except BaseException:
-        # A unit failed, the caller was interrupted, or the consumer
-        # abandoned the stream: drop everything still queued so the shared
-        # pool doesn't grind on for results nobody will see.  Units already
-        # running finish their current work and the pool stays usable.
-        for i in sorted(futures):
-            futures[i].cancel()
-        raise
+    for index, result, seconds in supervise_units(
+        units, n_jobs=n_jobs, policy=policy, counters=counters
+    ):
+        u = units[index]
+        yield CompletedUnit(
+            key=u.key, result=result, seconds=seconds, kind=u.kind
+        )
 
 
 def run_units(
@@ -211,6 +205,8 @@ def run_units(
     *,
     n_jobs: int = 1,
     on_unit_done: Callable[[Hashable, float], None] | None = None,
+    policy: RetryPolicy | None = None,
+    counters: FaultCounters | None = None,
 ) -> dict[Hashable, Any]:
     """Run every unit, interleaved through the shared ``n_jobs`` pool.
 
@@ -228,11 +224,14 @@ def run_units(
     :mod:`repro.engine.costs`); it must not depend on results.  If any unit
     raises, the first failure (in completion order) propagates and every
     not-yet-started unit is cancelled rather than left running in the
-    shared pool.
+    shared pool.  Worker *crashes*, by contrast, are recovered under
+    ``policy`` (see :func:`iter_units`) and tallied into ``counters``.
     """
     units = list(units)
     results: dict[Hashable, Any] = {}
-    for done in iter_units(units, n_jobs=n_jobs):
+    for done in iter_units(
+        units, n_jobs=n_jobs, policy=policy, counters=counters
+    ):
         results[done.key] = done.result
         if on_unit_done is not None:
             on_unit_done(done.key, done.seconds)
@@ -244,15 +243,26 @@ class WorkerPool:
     """Shareable handle on the scheduler: an ``n_jobs`` budget plus the
     scheduling entry points, threaded through experiment configs.
 
-    The handle is deliberately stateless (the executors themselves live in
-    the process-wide registry of :mod:`repro.batch.parallel`, keyed by
-    worker count), so it is cheap, picklable, and safe to embed in frozen
-    config dataclasses: two configs built with the same handle schedule
-    onto the same pool.
+    The handle is deliberately near-stateless (the executors themselves
+    live in the process-wide registry of :mod:`repro.batch.parallel`,
+    keyed by worker count), so it is cheap, picklable, and safe to embed
+    in frozen config dataclasses: two configs built with the same handle
+    schedule onto the same pool.  ``policy`` selects the crash-recovery
+    budget for everything scheduled through the handle (``None`` = the
+    scheduler default); ``counters`` (excluded from equality/hashing)
+    optionally aims the recovery telemetry at a session-owned tally —
+    engine sessions thread theirs here so ``engine.stats()`` sees
+    pipeline-level recoveries too.
     """
 
     #: Worker processes (``-1`` = all cores); resolved at scheduling time.
     n_jobs: int = 1
+    #: Crash-recovery budget (``None`` = DEFAULT_RETRY_POLICY).
+    policy: RetryPolicy | None = None
+    #: Session tally for recovery telemetry (identity-free: not compared).
+    counters: FaultCounters | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def run(
         self,
@@ -260,12 +270,23 @@ class WorkerPool:
         on_unit_done: Callable[[Hashable, float], None] | None = None,
     ) -> dict[Hashable, Any]:
         """Schedule ``units`` through this pool (see :func:`run_units`)."""
-        return run_units(units, n_jobs=self.n_jobs, on_unit_done=on_unit_done)
+        return run_units(
+            units,
+            n_jobs=self.n_jobs,
+            on_unit_done=on_unit_done,
+            policy=self.policy,
+            counters=self.counters,
+        )
 
     def iter(self, units: Iterable[WorkUnit]) -> Iterator[CompletedUnit]:
         """Stream ``units`` through this pool as they complete (see
         :func:`iter_units`)."""
-        return iter_units(units, n_jobs=self.n_jobs)
+        return iter_units(
+            units,
+            n_jobs=self.n_jobs,
+            policy=self.policy,
+            counters=self.counters,
+        )
 
     def run_trials(
         self,

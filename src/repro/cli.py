@@ -84,6 +84,20 @@ def _build_parser() -> argparse.ArgumentParser:
                 "small to amortize the pool run single-process and warn once"
             ),
         )
+        p.add_argument(
+            "--inject-fault",
+            metavar="SPEC",
+            default=None,
+            help=(
+                "deterministic chaos testing: KEY:ATTEMPT:ACTION[:SECONDS]"
+                "[;...] — KEY a unit key ('*' = any), ATTEMPT the 0-based "
+                "retry ordinal, ACTION one of exit/raise/stall.  The plan "
+                "ships to pool workers through the executor initializer; "
+                "crash faults are retried under the supervised scheduler "
+                "and output stays byte-identical to a fault-free run.  "
+                "Also honored from $REPRO_INJECT_FAULT"
+            ),
+        )
 
     _add_jobs_flag(sub.add_parser("fig1", help="Fig.1: Mallows noise vs Infeasible Index"))
     _add_jobs_flag(sub.add_parser("fig2", help="Fig.2: central-ranking II vs delta"))
@@ -252,10 +266,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint",
         help=(
-            "run the repo's static-analysis rules (REP001-REP007: seeded "
+            "run the repo's static-analysis rules (REP001-REP008: seeded "
             "RNG, clock-free sans-IO, non-blocking async, cache/registry "
-            "discipline, sorted digest iteration, worker error hygiene); "
-            "exits 0 when clean, 1 on findings, 2 on usage/parse errors"
+            "discipline, sorted digest iteration, worker error hygiene, "
+            "bounded retries); exits 0 when clean, 1 on findings, 2 on "
+            "usage/parse errors"
         ),
     )
     p_lint.add_argument(
@@ -602,6 +617,18 @@ def main(argv: list[str] | None = None) -> int:
         # Static analysis needs no engine session (and must not pay for
         # one): dispatch before the session spins up.
         return _cmd_lint(args)
+    fault_spec = getattr(args, "inject_fault", None) or os.environ.get(
+        "REPRO_INJECT_FAULT"
+    )
+    if fault_spec:
+        from repro.faults import install_plan, parse_fault_specs
+
+        try:
+            install_plan(parse_fault_specs(fault_spec))
+        except ValueError as exc:
+            print(f"error: --inject-fault: {exc}", file=sys.stderr)
+            return 2
+        print(f"# fault injection active: {fault_spec}", file=sys.stderr)
     engine = RankingEngine(n_jobs=getattr(args, "jobs", 1))
     pool = engine.pool
 
@@ -653,6 +680,13 @@ def main(argv: list[str] | None = None) -> int:
 
             paths = write_reports(reports, args.output)
             print(f"\nwrote {len(paths)} files under {args.output}", file=sys.stderr)
+    if engine.fault_counters:
+        # Truthful telemetry: surface crash recoveries (chaos lanes and
+        # real worker deaths alike) without touching the report stream.
+        print(
+            f"# faults recovered: {engine.fault_counters.snapshot()}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -49,6 +49,8 @@ from repro.batch.cache import CacheStats, KernelCache, use_cache
 from repro.batch.parallel import resolve_n_jobs
 from repro.batch.schedule import WorkerPool, WorkUnit, iter_units
 from repro.engine.costs import CostModel, load_bench_cost_tables
+from repro.faults.policy import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.faults.supervisor import FaultCounters
 from repro.engine.registry import algorithm_spec, make_algorithm
 from repro.rankings.permutation import Ranking
 from repro.utils.rng import SeedLike, spawn_seed_sequences
@@ -77,12 +79,18 @@ class EngineConfig:
         only — the decodes agree bit for bit.
     cost_smoothing:
         EWMA smoothing of the session's measured-cost model.
+    retry:
+        Crash-recovery budget for the session's pooled work (``None`` =
+        :data:`~repro.faults.policy.DEFAULT_RETRY_POLICY`: bounded
+        retries, then degrade inline).  Retries resubmit units with
+        their original seeds, so recovery never changes a digest.
     """
 
     n_jobs: int = 1
     cache_max_entries: int = 128
     decode_crossover: int | None = None
     cost_smoothing: float = 0.5
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         resolve_n_jobs(self.n_jobs)  # validate early (raises on 0, -2, …)
@@ -178,6 +186,10 @@ class EngineStats:
     n_jobs: int
     cache: CacheStats
     cost_table: dict[str, dict[str, float]]
+    #: Crash-recovery tallies for the session's pooled work (see
+    #: :meth:`repro.faults.FaultCounters.snapshot`) — all zero on a
+    #: fault-free run.
+    faults: dict[str, int | float] = field(default_factory=dict)
 
     @property
     def utilization(self) -> float:
@@ -189,13 +201,23 @@ class EngineStats:
 
     def summary(self) -> str:
         """One-line human-readable rendering (used in benchmark reports)."""
-        return (
+        text = (
             f"{self.requests_total} requests in {self.batches_total} "
             f"batches, busy {self.busy_seconds:.2f}s / wall "
             f"{self.wall_seconds:.2f}s on {self.n_jobs} worker(s) "
             f"(utilization {self.utilization:.0%}); cache: "
             f"{self.cache.summary()}"
         )
+        if any(value for value in self.faults.values()):
+            recovered = (
+                f"{self.faults.get('crash_faults', 0)} crash fault(s), "
+                f"{self.faults.get('rebuilds', 0)} rebuild(s), "
+                f"{self.faults.get('retried_units', 0)} retried / "
+                f"{self.faults.get('degraded_units', 0)} degraded / "
+                f"{self.faults.get('exhausted_units', 0)} exhausted unit(s)"
+            )
+            text += f"; faults: {recovered}"
+        return text
 
 
 def _as_request(obj: object, index: int) -> RankingRequest:
@@ -347,7 +369,13 @@ class RankingEngine:
         elif overrides:
             config = replace(config, **overrides)
         self._config = config
-        self._pool = WorkerPool(config.n_jobs)
+        self._faults = FaultCounters()
+        # The session's pool handle carries its retry policy and aims
+        # recovery telemetry at the session tally, so pipelines scheduled
+        # through `engine.pool` surface their recoveries in stats() too.
+        self._pool = WorkerPool(
+            config.n_jobs, policy=config.retry, counters=self._faults
+        )
         self._cache = KernelCache(config.cache_max_entries)
         self._costs = CostModel(config.cost_smoothing)
         self._requests_total = 0
@@ -383,6 +411,19 @@ class RankingEngine:
     def n_jobs(self) -> int:
         """The session's worker budget (as configured; ``-1`` = all cores)."""
         return self._config.n_jobs
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The session's effective crash-recovery budget (the configured
+        one, or the scheduler default)."""
+        retry = self._config.retry
+        return DEFAULT_RETRY_POLICY if retry is None else retry
+
+    @property
+    def fault_counters(self) -> FaultCounters:
+        """The session's live crash-recovery tally (snapshot in
+        :meth:`stats`)."""
+        return self._faults
 
     def __enter__(self) -> "RankingEngine":
         return self
@@ -561,6 +602,7 @@ class RankingEngine:
         n_jobs: int | None = None,
         on_response: Callable[[RankingResponse], None],
         on_error: Callable[[int, RankingRequest, Exception], None] | None = None,
+        retry: RetryPolicy | None = None,
     ) -> int:
         """Blocking callback drain of a batch — the async-friendly twin of
         :meth:`rank_many`, built for a serving tier that runs the drain in
@@ -580,8 +622,12 @@ class RankingEngine:
           re-raises (cancelling still-queued units), matching
           :meth:`rank_many`.
 
-        Scheduler-level failures (a broken pool, a corrupted stream) are
-        not per-request and always raise.  Returns the number of
+        Worker *crashes* are recovered under ``retry`` (default: the
+        session's policy) before they ever surface; only a recovery that
+        exhausts its budget under ``on_exhausted="raise"`` becomes a
+        scheduler-level :class:`~repro.exceptions.PoolRecoveryExhausted`.
+        Scheduler-level failures (an exhausted pool, a corrupted stream)
+        are not per-request and always raise.  Returns the number of
         deliveries (responses plus errors).  Seeds, weights and the
         byte-equality contract are identical to :meth:`rank_many` —
         responses carry the same rankings in whatever order they finish.
@@ -593,7 +639,12 @@ class RankingEngine:
         self._batches_total += 1
         delivered = 0
         t0 = time.perf_counter()
-        stream = iter_units(units, n_jobs=jobs)
+        stream = iter_units(
+            units,
+            n_jobs=jobs,
+            policy=self._config.retry if retry is None else retry,
+            counters=self._faults,
+        )
         try:
             while True:
                 with use_cache(self._cache):
@@ -670,7 +721,12 @@ class RankingEngine:
         self._batches_total += 1
         jobs = self._config.n_jobs if n_jobs is None else n_jobs
         t0 = time.perf_counter()
-        stream = iter_units(units, n_jobs=jobs)
+        stream = iter_units(
+            units,
+            n_jobs=jobs,
+            policy=self._config.retry,
+            counters=self._faults,
+        )
         try:
             while True:
                 # The session cache is installed only while the scheduler
@@ -723,6 +779,7 @@ class RankingEngine:
             n_jobs=resolve_n_jobs(self._config.n_jobs),
             cache=self._cache.stats(),
             cost_table=self._costs.to_jsonable(),
+            faults=self._faults.snapshot(),
         )
 
     @contextmanager

@@ -17,14 +17,21 @@ Layering (deterministic testability is the design driver):
 * :mod:`repro.serve.admission` — cost-priced admit/queue/reject;
 * :mod:`repro.serve.batching` — the coalescing window;
 * :mod:`repro.serve.core` — the sans-IO semantics state machine
-  (explicit clocks; what the fake-clock harness drives);
+  (explicit clocks; what the fake-clock harness drives), including the
+  health circuit breaker that sheds admissions with
+  :class:`ServerUnhealthy` after an exhausted pool recovery;
 * :mod:`repro.serve.server` — the asyncio shell;
 * :mod:`repro.serve.loadgen` — synthetic request streams + client swarm.
 """
 
 from repro.serve.admission import AdmissionPolicy, Decision
 from repro.serve.batching import MicroBatcher
-from repro.serve.core import ServerCore
+from repro.serve.core import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    ServerCore,
+)
 from repro.serve.loadgen import (
     LoadReport,
     run_load,
@@ -38,6 +45,7 @@ from repro.serve.protocol import (
     ServeStats,
     ServerClosed,
     ServerOverloaded,
+    ServerUnhealthy,
     Ticket,
     Waiter,
     percentile_summary,
@@ -47,6 +55,9 @@ from repro.serve.server import AsyncRankingServer
 __all__ = [
     "AdmissionPolicy",
     "AsyncRankingServer",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
     "Decision",
     "DeadlineExceeded",
     "LoadReport",
@@ -59,6 +70,7 @@ __all__ = [
     "ServerClosed",
     "ServerCore",
     "ServerOverloaded",
+    "ServerUnhealthy",
     "synthetic_problems",
     "synthetic_requests",
     "Ticket",

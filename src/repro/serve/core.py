@@ -11,8 +11,20 @@ engine, and marshal completions back in.
 This sans-IO split is what the deterministic test harness exploits: the
 *production* semantics — the same object, not a test double — run under a
 fake clock with inline engine drains, so batching-window coalescing,
-max-batch cutoff, deadline expiry, queue-full rejection, and client
-cancellation are all tested without a single real sleep.
+max-batch cutoff, deadline expiry, queue-full rejection, client
+cancellation, and the health circuit breaker are all tested without a
+single real sleep.
+
+The core also owns the serving tier's *health* semantics: when a
+dispatched batch dies because the worker pool's crash recovery ran out
+of budget (:class:`~repro.exceptions.PoolRecoveryExhausted` via
+:meth:`ServerCore.on_batch_aborted`), a circuit breaker opens — new
+admissions are shed with :class:`~repro.serve.protocol.ServerUnhealthy`
+(carrying a Retry-After hint) for ``breaker_cooldown`` seconds, then a
+single probe request is let through; the probe completing (result or
+per-request error, either proves the pool executed) closes the breaker.
+Requests already admitted are never shed, and only the tickets of the
+failed batch see errors.
 
 Determinism contract
 --------------------
@@ -35,6 +47,7 @@ import numpy as np
 
 from repro.engine.core import RankingEngine, RankingRequest, RankingResponse
 from repro.engine.registry import algorithm_spec
+from repro.exceptions import WorkerCrashError
 from repro.serve.admission import AdmissionPolicy, Decision
 from repro.serve.batching import MicroBatcher
 from repro.serve.protocol import (
@@ -47,9 +60,17 @@ from repro.serve.protocol import (
     ServeStats,
     ServerClosed,
     ServerOverloaded,
+    ServerUnhealthy,
     Ticket,
     Waiter,
 )
+
+# Circuit-breaker states (module constants, matching the ticket-state
+# idiom): CLOSED = healthy, OPEN = shedding admissions after an exhausted
+# pool recovery, HALF_OPEN = cooled down, one probe allowed through.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
 
 
 class ServerCore:
@@ -84,6 +105,15 @@ class ServerCore:
         )
         self._next_index = 0
         self._closed = False
+        # Circuit breaker: trips when a dispatched batch dies of an
+        # exhausted pool recovery (WorkerCrashError), sheds new admissions
+        # with ServerUnhealthy while open, and re-admits after one probe
+        # request proves the rebuilt pool healthy.  Transitions are lazy
+        # (evaluated against the `now` each submission carries) — the core
+        # stays clock-free.
+        self._breaker = BREAKER_CLOSED
+        self._breaker_until = 0.0
+        self._probe: Ticket | None = None
 
     # -- intake ---------------------------------------------------------------
 
@@ -95,6 +125,18 @@ class ServerCore:
     def live(self) -> int:
         """Unretired submissions (queued + batched + dispatched)."""
         return len(self._live)
+
+    @property
+    def breaker_state(self) -> str:
+        """Circuit-breaker state: ``"closed"`` / ``"open"`` /
+        ``"half-open"`` (as of the last transition — open→half-open
+        happens lazily on the next submission past the cooldown)."""
+        return self._breaker
+
+    @property
+    def healthy(self) -> bool:
+        """Whether admissions flow normally (breaker closed)."""
+        return self._breaker == BREAKER_CLOSED
 
     def close(self) -> None:
         """Stop accepting submissions (already-accepted work continues)."""
@@ -111,6 +153,9 @@ class ServerCore:
         """Price and admit one submission.
 
         Raises :class:`ServerClosed` on a closed server,
+        :class:`ServerUnhealthy` while the circuit breaker sheds (its
+        ``retry_after`` says when to come back; shed submissions consume
+        no seed child and no submission index — they were never priced),
         :class:`ServerOverloaded` when neither budget nor queue can take
         the request, and ``KeyError`` for an unknown algorithm (eagerly —
         a bad name must not burn a batch slot).  Otherwise returns the
@@ -122,6 +167,7 @@ class ServerCore:
             deadline = self.config.default_deadline
         if deadline is not None and not deadline > 0.0:
             raise ValueError(f"deadline must be > 0 or None, got {deadline}")
+        self._check_breaker(now)
         spec = algorithm_spec(request.algorithm)  # eager validation
 
         # Seed tree: submission i takes child i of the server's root —
@@ -163,7 +209,54 @@ class ServerCore:
             self._queue.append(ticket)
             self.stats.queued += 1
         self._live.add(ticket)
+        if self._breaker == BREAKER_HALF_OPEN and self._probe is None:
+            # First accepted submission past the cooldown is the probe:
+            # its completion (result *or* per-request error — either
+            # proves the pool executed) closes the breaker.
+            self._probe = ticket
+            self.stats.breaker_probes += 1
         return ticket
+
+    def _check_breaker(self, now: float) -> None:
+        if self._breaker == BREAKER_CLOSED:
+            return
+        if self._breaker == BREAKER_OPEN:
+            if now < self._breaker_until:
+                self.stats.shed_unhealthy += 1
+                raise ServerUnhealthy(
+                    retry_after=self._breaker_until - now,
+                    state=BREAKER_OPEN,
+                )
+            self._breaker = BREAKER_HALF_OPEN
+            self._probe = None
+            return
+        if self._probe is not None:
+            # Half-open with a probe already in flight: shed until it
+            # reports (the cooldown is an honest re-poll hint).
+            self.stats.shed_unhealthy += 1
+            raise ServerUnhealthy(
+                retry_after=self.config.breaker_cooldown,
+                state=BREAKER_HALF_OPEN,
+            )
+
+    def _trip_breaker(self, now: float) -> None:
+        """An exhausted pool recovery killed a batch: shed admissions
+        until the cooldown passes, then probe."""
+        self.stats.pool_failures += 1
+        if self._breaker != BREAKER_OPEN:
+            self.stats.breaker_opened += 1
+        self._breaker = BREAKER_OPEN
+        self._breaker_until = now + self.config.breaker_cooldown
+        self._probe = None
+
+    def _close_breaker(self) -> None:
+        """The engine completed a request end-to-end: the pool is
+        healthy, admissions flow again."""
+        if self._breaker == BREAKER_CLOSED:
+            return
+        self._breaker = BREAKER_CLOSED
+        self._probe = None
+        self.stats.breaker_closed += 1
 
     def _admit(self, ticket: Ticket, now: float) -> None:
         self.policy.acquire(ticket.cost)
@@ -266,6 +359,7 @@ class ServerCore:
         already expired/cancelled), account latency, release budget."""
         if ticket not in self._live:
             return
+        self._close_breaker()
         if not ticket.settled:
             self._settle(
                 ticket,
@@ -283,9 +377,12 @@ class ServerCore:
         self, ticket: Ticket, error: BaseException, now: float
     ) -> None:
         """One dispatched request failed in the engine: the error surfaces
-        to exactly this waiter; batchmates are untouched."""
+        to exactly this waiter; batchmates are untouched.  A per-request
+        failure still *proves the pool healthy* — the guarded unit ran to
+        completion — so it closes the breaker like a response does."""
         if ticket not in self._live:
             return
+        self._close_breaker()
         if not ticket.settled:
             self._settle(ticket, error=error)
             self.stats.failed += 1
@@ -295,7 +392,19 @@ class ServerCore:
         self, batch: list[Ticket], error: BaseException, now: float
     ) -> None:
         """The whole drain died (broken pool, scheduler failure): fail
-        every still-unresolved ticket of the batch."""
+        every still-unresolved ticket of the batch.
+
+        A :class:`~repro.exceptions.WorkerCrashError` (in practice
+        :class:`~repro.exceptions.PoolRecoveryExhausted` — lesser crashes
+        are absorbed by the supervised scheduler and never reach here)
+        additionally trips the circuit breaker: new admissions shed with
+        Retry-After semantics while the pool rebuilds, and a probe
+        re-opens the floor once it proves the pool healthy.  Only this
+        batch's unsettled tickets see errors — already-settled batchmates
+        keep their results.
+        """
+        if isinstance(error, WorkerCrashError):
+            self._trip_breaker(now)
         for ticket in batch:
             if ticket not in self._live:
                 continue
@@ -350,6 +459,10 @@ class ServerCore:
         elif ticket.state == BATCHED:
             self.batcher.remove(ticket)
             self.policy.release(ticket.cost)
+        if ticket is self._probe:
+            # The probe died before dispatch (expiry/cancel/abort): free
+            # the half-open slot so the next submission can probe.
+            self._probe = None
         ticket.state = RETIRED
         self._live.discard(ticket)
 
@@ -357,8 +470,18 @@ class ServerCore:
         """Account the end of a dispatched ticket's compute."""
         if ticket.state == DISPATCHED:
             self.policy.release(ticket.cost)
+        if ticket is self._probe:
+            # The probe is resolved one way or another; a successful one
+            # already closed the breaker (probe cleared there), so this
+            # only frees the half-open slot after a failed drain.
+            self._probe = None
         ticket.state = RETIRED
         self._live.discard(ticket)
 
 
-__all__ = ["ServerCore"]
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "ServerCore",
+]

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.engine.core import RankingRequest, RankingResponse
 from repro.engine.costs import kind_label
+from repro.faults.policy import RetryPolicy
 from repro.utils.rng import SeedLike
 
 
@@ -62,6 +63,17 @@ class ServeConfig:
     n_jobs:
         Worker override for each coalesced batch (``None`` = the engine
         session's budget).
+    retry:
+        Crash-recovery budget for dispatched batches (``None`` derives a
+        serving policy from the engine's: same bounds, but
+        ``on_exhausted="raise"`` — a server sheds load through its
+        circuit breaker instead of dragging all traffic through one
+        inline thread).
+    breaker_cooldown:
+        Seconds the circuit breaker sheds new admissions with
+        :class:`ServerUnhealthy` after pool recovery is exhausted, before
+        letting a single probe request through (see
+        :class:`repro.serve.core.ServerCore`).
     """
 
     batch_window: float = 0.002
@@ -72,6 +84,8 @@ class ServeConfig:
     default_deadline: float | None = None
     seed: SeedLike = 0
     n_jobs: int | None = None
+    retry: "RetryPolicy | None" = None
+    breaker_cooldown: float = 1.0
 
     def __post_init__(self) -> None:
         if self.batch_window < 0.0:
@@ -98,6 +112,10 @@ class ServeConfig:
             raise ValueError(
                 f"default_deadline must be > 0 or None, got "
                 f"{self.default_deadline}"
+            )
+        if not self.breaker_cooldown > 0.0:
+            raise ValueError(
+                f"breaker_cooldown must be > 0, got {self.breaker_cooldown}"
             )
 
 
@@ -137,6 +155,26 @@ class ServerOverloaded(ServeError):
             f"{predicted_cost:.4f}s on top of {inflight_cost:.4f}s in "
             f"flight exceeds the {cost_budget:.4f}s budget, and the wait "
             f"queue is full ({queue_depth}/{max_queue_depth})"
+        )
+
+
+class ServerUnhealthy(ServeError):
+    """The circuit breaker is shedding admissions: the worker pool failed
+    beyond its recovery budget and has not yet proven itself healthy.
+
+    ``retry_after`` is the Retry-After hint in seconds: how long until
+    the breaker lets a probe through (``state="open"``), or a small
+    re-poll hint while a probe is already in flight
+    (``state="half-open"``).  Requests already admitted are unaffected —
+    only new admissions are shed.
+    """
+
+    def __init__(self, *, retry_after: float, state: str) -> None:
+        self.retry_after = max(0.0, float(retry_after))
+        self.state = state
+        super().__init__(
+            f"server unhealthy (circuit {state}): worker-pool recovery "
+            f"exhausted; retry after {self.retry_after:.3f}s"
         )
 
 
@@ -241,6 +279,15 @@ class ServeStats:
     dispatched_batches: int = 0
     dispatched_requests: int = 0
     largest_batch: int = 0
+    #: Batches aborted by a worker-pool failure beyond its retry budget.
+    pool_failures: int = 0
+    #: Circuit-breaker transitions: opened (pool failure), probes admitted
+    #: while half-open, closed (a probe proved the pool healthy again).
+    breaker_opened: int = 0
+    breaker_probes: int = 0
+    breaker_closed: int = 0
+    #: Submissions shed with :class:`ServerUnhealthy` while open/half-open.
+    shed_unhealthy: int = 0
     latencies: dict[str, list[float]] = field(default_factory=dict)
 
     def observe_latency(self, kind: Hashable, seconds: float) -> None:
@@ -272,6 +319,13 @@ class ServeStats:
             f"cancelled; {self.dispatched_requests} requests in "
             f"{self.dispatched_batches} batches "
             f"(coalescing {self.coalescing:.2f}x, largest {self.largest_batch})"
+            + (
+                f"; {self.pool_failures} pool failure(s), breaker "
+                f"opened {self.breaker_opened}/probed {self.breaker_probes}/"
+                f"closed {self.breaker_closed}, {self.shed_unhealthy} shed"
+                if self.pool_failures or self.shed_unhealthy
+                else ""
+            )
         )
 
 
@@ -304,6 +358,7 @@ __all__ = [
     "ServeStats",
     "ServerClosed",
     "ServerOverloaded",
+    "ServerUnhealthy",
     "Ticket",
     "Waiter",
     "percentile_summary",

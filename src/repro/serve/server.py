@@ -46,6 +46,7 @@ from typing import Any
 
 from repro.algorithms.base import FairRankingProblem
 from repro.engine.core import RankingEngine, RankingRequest, RankingResponse
+from repro.faults.policy import DEGRADE_RAISE, RetryPolicy
 from repro.serve.core import ServerCore
 from repro.serve.protocol import (
     ServeConfig,
@@ -82,6 +83,16 @@ class AsyncRankingServer:
             config = replace(config, **overrides)
         self._engine = engine
         self._config = config
+        # Crash recovery for dispatched batches: the configured policy,
+        # or the engine's bounds with on_exhausted flipped to "raise" —
+        # a server must shed load through the core's circuit breaker
+        # when the pool is gone, not drag every batch through inline
+        # serial execution on its single drain thread.
+        self._retry: RetryPolicy = (
+            config.retry
+            if config.retry is not None
+            else replace(engine.retry_policy, on_exhausted=DEGRADE_RAISE)
+        )
         self._core: ServerCore | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -100,6 +111,11 @@ class AsyncRankingServer:
     @property
     def config(self) -> ServeConfig:
         return self._config
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The crash-recovery policy applied to dispatched batches."""
+        return self._retry
 
     @property
     def started(self) -> bool:
@@ -318,6 +334,7 @@ class AsyncRankingServer:
             n_jobs=self._config.n_jobs,
             on_response=deliver,
             on_error=fail,
+            retry=self._retry,
         )
 
 

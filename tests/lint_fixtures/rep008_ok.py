@@ -1,0 +1,45 @@
+"""REP008 true negatives: retries with a bound or an escape.
+
+Linted as ``repro.faults.fixture`` — same scope as the violations.
+"""
+
+
+def resubmit_with_budget(pool, unit, max_attempts=3):
+    for _attempt in range(max_attempts):
+        try:
+            return pool.run(unit)
+        except OSError:
+            continue
+    raise RuntimeError("retry budget exhausted")
+
+
+def rebuild_with_escape(pool, unit, max_rebuilds=2):
+    rebuilds = 0
+    while True:
+        try:
+            return pool.run(unit)
+        except ConnectionError:
+            rebuilds += 1
+            if rebuilds > max_rebuilds:
+                raise
+            pool.rebuild()
+            continue
+
+
+def drain_stream(stream):
+    # Not a retry loop at all: the handler terminates the loop.
+    while True:
+        try:
+            item = next(stream)
+        except StopIteration:
+            break
+        yield item
+
+
+def supervise(pending, pool):
+    # Bounded by the loop condition itself, not an escape statement.
+    while pending:
+        try:
+            pending = pool.step(pending)
+        except InterruptedError:
+            continue

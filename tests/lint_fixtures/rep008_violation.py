@@ -1,0 +1,32 @@
+"""REP008 true positives: unbounded retry loops in dispatch code.
+
+Linted as ``repro.faults.fixture`` (worker-dispatch / retry scope).
+"""
+
+import itertools
+
+
+def resubmit_forever(pool, unit):
+    while True:  # expect: REP008
+        try:
+            return pool.run(unit)
+        except OSError:
+            continue
+
+
+def spin_on_crash(pool, unit):
+    while 1:  # expect: REP008
+        try:
+            return pool.run(unit)
+        except ConnectionError:
+            pool.rebuild()
+            continue
+
+
+def poll_until_served(server, request):
+    for attempt in itertools.count():  # expect: REP008
+        try:
+            return server.submit(request, attempt=attempt)
+        except TimeoutError:
+            server.backoff(attempt)
+            continue

@@ -45,6 +45,8 @@ FIXTURE_MODULES = {
     "rep006_ok.py": "repro.engine.newmod",
     "rep007_violation.py": "repro.batch.schedule",
     "rep007_ok.py": "repro.batch.schedule",
+    "rep008_violation.py": "repro.faults.fixture",
+    "rep008_ok.py": "repro.faults.fixture",
     "suppressed.py": "repro.engine.newmod",
 }
 
