@@ -33,21 +33,51 @@ REP004    ``KernelCache()`` / ``DEFAULT_CACHE`` use outside cache owners
 REP005    legacy algorithm constructors bypassing ``make_algorithm``
 REP006    unordered-container iteration in digest-feeding modules
 REP007    bare/swallowed ``except`` in worker-executed code
+REP008    unbounded retry loops in worker-dispatch/serving code
+REP009    indirect wall-clock/RNG reach (transitive, witness-carrying)
+REP010    sync call from ``async def`` into a transitively blocking callee
+REP011    unpicklable objects handed to the process pool
 REP000    (reserved) a ``# repro: noqa`` that suppresses nothing — stale
+          or naming a rule id that does not exist
 ========  ==============================================================
+
+REP009–REP011 are *interprocedural*: pass 1
+(:mod:`repro.analysis.callgraph`) builds a project symbol table and call
+graph, pass 2 (:mod:`repro.analysis.effects`) propagates per-function
+effect sets over it to an SCC-aware fixpoint, and the rules consume the
+propagated facts — so ``helper()`` → ``time.time()`` is caught with a
+witness chain.  Whole-project runs are made cheap by the incremental
+cache (:mod:`repro.analysis.cache`).
 
 Findings are suppressible per line with ``# repro: noqa[REP002]`` plus a
 justification; stale suppressions are themselves findings, so the
 suppression inventory can only shrink.
 """
 
+from repro.analysis.cache import DEFAULT_CACHE_PATH, LintCache
+from repro.analysis.callgraph import (
+    CallGraph,
+    ModuleIndex,
+    build_call_graph,
+    index_module,
+    strongly_connected_components,
+)
 from repro.analysis.config import DEFAULT_CONFIG, LintConfig, module_matches
+from repro.analysis.effects import (
+    ModuleSummary,
+    ProjectEffects,
+    analyze_project,
+    propagate_effects,
+    summarize_module,
+    summarize_source,
+)
 from repro.analysis.engine import (
     STALE_RULE_ID,
     Finding,
     LintEngine,
     LintError,
     LintResult,
+    ProjectContext,
     Rule,
     get_rule,
     iter_rules,
@@ -67,24 +97,38 @@ from repro.analysis.suppressions import (
 from repro.analysis import rules as _rules  # noqa: F401
 
 __all__ = [
+    "CallGraph",
+    "DEFAULT_CACHE_PATH",
     "DEFAULT_CONFIG",
     "Finding",
+    "LintCache",
     "LintConfig",
     "LintEngine",
     "LintError",
     "LintResult",
+    "ModuleIndex",
+    "ModuleSummary",
+    "ProjectContext",
+    "ProjectEffects",
     "Rule",
     "STALE_RULE_ID",
     "Suppression",
     "SuppressionSyntaxError",
+    "analyze_project",
+    "build_call_graph",
     "find_suppressions",
     "get_rule",
+    "index_module",
     "iter_rules",
     "lint_paths",
     "lint_source",
     "module_matches",
+    "propagate_effects",
     "register_rule",
     "render_json",
     "render_text",
     "rule_ids",
+    "strongly_connected_components",
+    "summarize_module",
+    "summarize_source",
 ]

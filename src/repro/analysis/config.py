@@ -147,6 +147,20 @@ class LintConfig:
         "repro.serve",
     )
 
+    # -- REP011: picklable pool payloads ------------------------------------
+    #: Modules that hand work to process pools (``executor.submit`` /
+    #: ``WorkUnit``): everything they submit crosses a pickle boundary,
+    #: so closures, locks, and open files in the payload fail at dispatch
+    #: time — on some platforms only, which is the worst kind of failure.
+    pool_submit_modules: tuple[str, ...] = (
+        "repro.batch.schedule",
+        "repro.batch.parallel",
+        "repro.engine",
+        "repro.faults",
+        "repro.serve",
+        "repro.experiments",
+    )
+
     def enabled(self, rule_id: str) -> bool:
         """Whether ``rule_id`` survives ``select``/``ignore``."""
         if self.select is not None and rule_id not in self.select:

@@ -5,22 +5,34 @@ under stable string ids (``"REP001"``), surfaces iterate the registry as
 data (:func:`rule_ids`, :func:`iter_rules`), and a run is an engine call —
 :func:`lint_source` for one buffer, :func:`lint_paths` for a tree.
 
-The walk is single-pass: :class:`LintEngine` descends the tree once,
-maintaining the ancestor stack and the module's import map, and offers
-every node to every in-scope rule.  Rules are :class:`Rule` subclasses
-producing ``(line, col, message)`` triples; the engine stamps them into
-:class:`Finding` records, applies the ``# repro: noqa[...]`` suppressions
-(:mod:`repro.analysis.suppressions`), and reports stale suppressions under
-the reserved id :data:`STALE_RULE_ID`.
+Since the interprocedural pass landed, a run is **two-pass**:
+
+1. *summarize* — every file gets one AST walk offering each node to the
+   per-module rules (REP001–REP008), plus the pass-1 index and base
+   effect sets of :mod:`repro.analysis.callgraph` /
+   :mod:`repro.analysis.effects`.  Summaries are pure functions of the
+   source text, which is what the incremental cache
+   (:mod:`repro.analysis.cache`) stores;
+2. *project* — the call graph is assembled over every summary, effects
+   are propagated to a fixpoint, and the transitive rules
+   (REP009–REP011) turn the propagated facts into findings carrying a
+   witness chain.
+
+Only then are ``# repro: noqa[...]`` suppressions applied — so a noqa
+can silence a transitive finding, and stale/unknown-id suppressions are
+judged against the *complete* finding set — and stale suppressions are
+reported under the reserved id :data:`STALE_RULE_ID`.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
-from dataclasses import dataclass, replace
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
+from repro.analysis.callgraph import collect_import_aliases, dotted_name
 from repro.analysis.config import DEFAULT_CONFIG, LintConfig
 from repro.analysis.suppressions import (
     Suppression,
@@ -28,8 +40,33 @@ from repro.analysis.suppressions import (
     find_suppressions,
 )
 
+if TYPE_CHECKING:  # runtime imports are lazy (see _project_pass)
+    from repro.analysis.cache import LintCache
+    from repro.analysis.effects import ModuleSummary, ProjectEffects
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintEngine",
+    "LintError",
+    "LintResult",
+    "ProjectContext",
+    "Rule",
+    "STALE_RULE_ID",
+    "dotted_name",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "register_rule",
+    "rule_ids",
+]
+
 #: Reserved id under which stale ``noqa`` comments are reported (a
-#: suppression that matches no finding is itself a finding).
+#: suppression that matches no finding is itself a finding), as are
+#: ``noqa`` markers naming rule ids that do not exist (typos suppress
+#: nothing and must not linger looking load-bearing).
 STALE_RULE_ID = "REP000"
 
 
@@ -39,7 +76,8 @@ class Finding:
 
     ``suppressed`` findings matched a ``# repro: noqa[...]`` comment on
     their line; they are kept (reporters can show them) but never fail a
-    run.
+    run.  ``witness`` is the transitive call chain for interprocedural
+    findings (REP009/REP010): outermost caller first, primitive last.
     """
 
     rule: str
@@ -48,10 +86,13 @@ class Finding:
     col: int
     message: str
     suppressed: bool = False
+    witness: tuple[str, ...] = ()
 
     def location(self) -> str:
-        """``path:line:col`` — the clickable prefix reporters print."""
-        return f"{self.path}:{self.line}:{self.col}"
+        """``path:line:col`` with a 1-based column — the clickable
+        prefix reporters print (editors and CI log linkifiers count
+        columns from 1; the AST counts from 0)."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
 
 
 @dataclass(frozen=True)
@@ -61,20 +102,27 @@ class LintError:
     path: str
     message: str
     line: int = 0
+    col: int = 0
 
 
 class Rule:
     """Base class for lint rules.
 
     Subclasses set ``id``/``summary``/``rationale`` and implement
-    :meth:`visit`; :meth:`applies` gates the rule per file (contract
-    scoping).  Rules are stateless — one instance serves every file.
+    :meth:`visit` (per-node, one file at a time) or — for the
+    interprocedural rules — :meth:`check_project`, which sees the whole
+    project's propagated facts at once.  :meth:`applies` gates per-file
+    rules per module (contract scoping).  Rules are stateless — one
+    instance serves every file.
     """
 
     id: str = ""
     summary: str = ""
     #: Why the invariant exists — rendered in ``--explain`` style docs.
     rationale: str = ""
+    #: Whether findings come from :meth:`check_project` (pass 2) instead
+    #: of the per-node :meth:`visit` walk.
+    project: bool = False
 
     def applies(self, ctx: "LintContext") -> bool:
         """Whether this rule is in scope for ``ctx``'s module."""
@@ -84,6 +132,12 @@ class Rule:
         self, node: ast.AST, ctx: "LintContext"
     ) -> Iterable[tuple[int, int, str]]:
         """Findings for ``node`` as ``(line, col, message)`` triples."""
+        return ()
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterable[Finding]:
+        """Findings over the whole project (interprocedural rules)."""
         return ()
 
 
@@ -172,34 +226,23 @@ class LintContext:
         return origin + sep + rest if rest else origin
 
 
-def dotted_name(node: ast.AST) -> str | None:
-    """The source-level dotted name of a ``Name``/``Attribute`` chain
-    (``None`` for anything dynamic, e.g. a subscript in the chain)."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
+@dataclass(frozen=True)
+class ProjectContext:
+    """What pass 2 hands to the interprocedural rules: every module's
+    summary, the propagated effect facts, and the run configuration.
 
+    ``target_modules`` restricts finding generation (``None`` = every
+    module) — the incremental cache uses it to recompute only the
+    modules whose dependency closure changed.
+    """
 
-def _collect_imports(tree: ast.Module, ctx: LintContext) -> None:
-    """Fill ``ctx.imports`` from every ``import`` in the file (any depth —
-    local imports are the repo's idiom for optional heavy deps)."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                local = alias.asname or alias.name.partition(".")[0]
-                origin = alias.name if alias.asname else local
-                ctx.imports[local] = origin
-        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                local = alias.asname or alias.name
-                ctx.imports[local] = f"{node.module}.{alias.name}"
+    summaries: tuple["ModuleSummary", ...]
+    effects: "ProjectEffects"
+    config: LintConfig
+    target_modules: frozenset[str] | None = None
+
+    def in_target(self, module: str) -> bool:
+        return self.target_modules is None or module in self.target_modules
 
 
 def module_name_for(path: str) -> str:
@@ -254,6 +297,23 @@ class LintResult:
         )
 
 
+@dataclass
+class _FileRecord:
+    """One file's pass-1 output, before suppressions are applied."""
+
+    path: str
+    module: str
+    summary: "ModuleSummary | None" = None
+    errors: tuple[LintError, ...] = ()
+    source_hash: str = ""
+    cache_hit: bool = False
+
+
+def source_digest(source: str) -> str:
+    """The content hash the incremental cache keys summaries by."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
 class LintEngine:
     """A configured lint session: walks trees, applies rules, suppresses.
 
@@ -265,13 +325,28 @@ class LintEngine:
     ... )
     >>> [(f.rule, f.line) for f in result.active]
     [('REP001', 2)]
+
+    The transitive rules see through calls — the helper here is what
+    hides the clock read from the per-module REP002:
+
+    >>> result = engine.lint_source(
+    ...     "import time\\n"
+    ...     "def helper():\\n"
+    ...     "    return time.monotonic()  # repro: noqa[REP002] fixture\\n"
+    ...     "def tick():\\n"
+    ...     "    return helper()\\n",
+    ...     path="core.py", module="repro.serve.core",
+    ... )
+    >>> result.clean  # the noqa declares the clock read harmless
+    True
     """
 
     def __init__(self, config: LintConfig | None = None):
         self.config = config if config is not None else DEFAULT_CONFIG
-        self.rules: tuple[Rule, ...] = tuple(
-            rule for rule in iter_rules() if self.config.enabled(rule.id)
-        )
+        # Every registered rule runs at summarize time (summaries are
+        # cached across runs with different --select/--ignore); the
+        # selection is applied when findings are finalized.
+        self.rules: tuple[Rule, ...] = tuple(iter_rules())
 
     # -- entry points -------------------------------------------------------
 
@@ -279,13 +354,98 @@ class LintEngine:
         self, source: str, path: str, module: str | None = None
     ) -> LintResult:
         """Lint one source buffer (``module`` overrides scope resolution —
-        how fixture tests lint a snippet *as* ``repro.serve.core``)."""
+        how fixture tests lint a snippet *as* ``repro.serve.core``).
+
+        Both passes run: the buffer is its own one-module project, so
+        intra-module transitive violations (``f -> helper -> time.time``)
+        are found even through this single-file entry point.
+        """
+        record = self._summarize(source, path, module)
+        by_path = self._project_pass([record], cache=None)
+        return self._finalize(record, by_path.get(record.path, ()))
+
+    def lint_file(self, path: str, module: str | None = None) -> LintResult:
+        """Lint one file from disk."""
+        record = self._record_for_file(path, module, cache=None)
+        by_path = self._project_pass([record], cache=None)
+        return self._finalize(record, by_path.get(record.path, ()))
+
+    def lint_paths(
+        self,
+        paths: Iterable[str],
+        cache: "LintCache | None" = None,
+    ) -> LintResult:
+        """Lint files and directory trees (``*.py``, sorted walk order).
+
+        With ``cache``, unchanged files reuse their stored summaries
+        (skipping parse + walk) and modules whose whole dependency
+        closure is unchanged reuse their stored transitive findings; the
+        caller persists the cache afterwards (``cache.save()``).
+        """
+        records: list[_FileRecord] = []
+        for path in paths:
+            for file_path in _python_files(path):
+                records.append(
+                    self._record_for_file(file_path, None, cache=cache)
+                )
+        by_path = self._project_pass(records, cache=cache)
+        result = LintResult()
+        for record in records:
+            result = result.merged(
+                self._finalize(record, by_path.get(record.path, ()))
+            )
+        return result
+
+    # -- pass 1: per-file summaries -----------------------------------------
+
+    def _record_for_file(
+        self,
+        path: str,
+        module: str | None,
+        cache: "LintCache | None",
+    ) -> _FileRecord:
+        resolved_module = module if module is not None else module_name_for(path)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, ValueError) as exc:
+            # ValueError covers UnicodeDecodeError: a file that is not
+            # UTF-8 text is unreadable *as Python*, not a crash.
+            return _FileRecord(
+                path=path,
+                module=resolved_module,
+                errors=(LintError(path=path, message=str(exc)),),
+            )
+        digest = source_digest(source)
+        if cache is not None:
+            summary = cache.load_summary(path, digest)
+            if summary is not None:
+                return _FileRecord(
+                    path=path,
+                    module=summary.module,
+                    summary=summary,
+                    source_hash=digest,
+                    cache_hit=True,
+                )
+        record = self._summarize(source, path, module)
+        record.source_hash = digest
+        if cache is not None and record.summary is not None:
+            cache.store_summary(path, digest, record.summary)
+        return record
+
+    def _summarize(
+        self, source: str, path: str, module: str | None
+    ) -> _FileRecord:
+        from repro.analysis.effects import summarize_module
+
         if module is None:
             module = module_name_for(path)
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
-            return LintResult(
+            return _FileRecord(
+                path=path,
+                module=module,
                 errors=(
                     LintError(
                         path=path,
@@ -293,11 +453,15 @@ class LintEngine:
                         line=exc.lineno or 0,
                     ),
                 ),
-                files=1,
+                source_hash=source_digest(source),
             )
         ctx = LintContext(path=path, module=module, config=self.config)
-        _collect_imports(tree, ctx)
-        in_scope = [rule for rule in self.rules if rule.applies(ctx)]
+        ctx.imports = collect_import_aliases(tree)
+        in_scope = [
+            rule
+            for rule in self.rules
+            if not rule.project and rule.applies(ctx)
+        ]
         raw: list[Finding] = []
 
         def descend(node: ast.AST) -> None:
@@ -324,30 +488,150 @@ class LintEngine:
         except SuppressionSyntaxError as exc:
             suppressions = ()
             errors = (LintError(path=path, message=str(exc), line=exc.line),)
-        findings = self._apply_suppressions(raw, suppressions, path)
+        summary = summarize_module(
+            tree,
+            module,
+            path,
+            local_findings=raw,
+            suppressions=suppressions,
+        )
+        return _FileRecord(
+            path=path,
+            module=module,
+            summary=summary,
+            errors=errors,
+            source_hash=source_digest(source),
+        )
+
+    # -- pass 2: the project-wide rules -------------------------------------
+
+    def _project_rules(self) -> list[Rule]:
+        return [
+            rule
+            for rule in self.rules
+            if rule.project and self.config.enabled(rule.id)
+        ]
+
+    def _project_pass(
+        self,
+        records: Sequence[_FileRecord],
+        cache: "LintCache | None",
+    ) -> dict[str, tuple[Finding, ...]]:
+        """Run the interprocedural rules, returning findings per path."""
+        project_rules = self._project_rules()
+        summaries = [r.summary for r in records if r.summary is not None]
+        if not project_rules or not summaries:
+            return {}
+        from repro.analysis.callgraph import (
+            build_call_graph,
+            dependency_closure,
+        )
+        from repro.analysis.effects import propagate_effects
+
+        hashes = {
+            r.summary.module: r.source_hash
+            for r in records
+            if r.summary is not None
+        }
+        reused: dict[str, tuple[Finding, ...]] = {}
+        targets: set[str] | None = None
+        closure_digests: dict[str, str] = {}
+        graph = None
+        if cache is not None:
+            graph = build_call_graph([s.index for s in summaries])
+            targets = set()
+            for summary in summaries:
+                closure = dependency_closure(
+                    summary.module, graph.module_deps
+                )
+                digest = hashlib.sha256(
+                    "\n".join(
+                        f"{mod}:{hashes.get(mod, '?')}" for mod in closure
+                    ).encode("utf-8")
+                ).hexdigest()
+                closure_digests[summary.module] = digest
+                cached = cache.load_project_findings(summary.module, digest)
+                if cached is not None:
+                    reused[summary.module] = cached
+                else:
+                    targets.add(summary.module)
+            if not targets:
+                # Whole-project warm hit: skip propagation entirely.
+                cache.note_project(reused=len(reused), recomputed=0)
+                return self._group_by_path(reused)
+
+        effects = propagate_effects(summaries, self.config, graph=graph)
+        context = ProjectContext(
+            summaries=tuple(summaries),
+            effects=effects,
+            config=self.config,
+            target_modules=(
+                frozenset(targets) if targets is not None else None
+            ),
+        )
+        fresh: dict[str, list[Finding]] = {}
+        for summary in summaries:
+            if targets is None or summary.module in targets:
+                fresh[summary.module] = []
+        for rule in project_rules:
+            for finding in rule.check_project(context):
+                module = self._module_of(records, finding.path)
+                fresh.setdefault(module, []).append(finding)
+        combined: dict[str, tuple[Finding, ...]] = dict(reused)
+        for module, findings in fresh.items():
+            combined[module] = tuple(findings)
+            if cache is not None and module in closure_digests:
+                cache.store_project_findings(
+                    module, closure_digests[module], tuple(findings)
+                )
+        if cache is not None:
+            cache.note_project(reused=len(reused), recomputed=len(fresh))
+        return self._group_by_path(combined)
+
+    @staticmethod
+    def _module_of(records: Sequence[_FileRecord], path: str) -> str:
+        for record in records:
+            if record.path == path:
+                return record.module
+        return module_name_for(path)
+
+    @staticmethod
+    def _group_by_path(
+        by_module: dict[str, tuple[Finding, ...]],
+    ) -> dict[str, tuple[Finding, ...]]:
+        by_path: dict[str, list[Finding]] = {}
+        for findings in by_module.values():
+            for finding in findings:
+                by_path.setdefault(finding.path, []).append(finding)
+        return {path: tuple(fs) for path, fs in by_path.items()}
+
+    # -- finalization: selection, suppressions, staleness --------------------
+
+    def _enabled_ids(self) -> set[str]:
+        return {
+            rule.id for rule in self.rules if self.config.enabled(rule.id)
+        }
+
+    def _finalize(
+        self,
+        record: _FileRecord,
+        project_findings: Sequence[Finding],
+    ) -> LintResult:
+        if record.summary is None:
+            return LintResult(errors=record.errors, files=1)
+        enabled = self._enabled_ids()
+        findings = [
+            f
+            for f in tuple(record.summary.local_findings) + tuple(project_findings)
+            if f.rule in enabled
+        ]
+        findings = self._apply_suppressions(
+            findings, record.summary.suppressions, record.path
+        )
         findings.sort(key=lambda f: (f.line, f.col, f.rule))
-        return LintResult(findings=tuple(findings), errors=errors, files=1)
-
-    def lint_file(self, path: str, module: str | None = None) -> LintResult:
-        """Lint one file from disk."""
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                source = fh.read()
-        except OSError as exc:
-            return LintResult(
-                errors=(LintError(path=path, message=str(exc)),), files=1
-            )
-        return self.lint_source(source, path=path, module=module)
-
-    def lint_paths(self, paths: Iterable[str]) -> LintResult:
-        """Lint files and directory trees (``*.py``, sorted walk order)."""
-        result = LintResult()
-        for path in paths:
-            for file_path in _python_files(path):
-                result = result.merged(self.lint_file(file_path))
-        return result
-
-    # -- suppression application -------------------------------------------
+        return LintResult(
+            findings=tuple(findings), errors=record.errors, files=1
+        )
 
     def _apply_suppressions(
         self,
@@ -365,7 +649,31 @@ class LintEngine:
                 finding = replace(finding, suppressed=True)
             out.append(finding)
         if self.config.enabled(STALE_RULE_ID):
+            known = set(rule_ids()) | {STALE_RULE_ID}
             for suppression in suppressions:
+                unknown = tuple(
+                    rule
+                    for rule in (suppression.rules or ())
+                    if rule not in known
+                )
+                for rule in unknown:
+                    out.append(
+                        Finding(
+                            rule=STALE_RULE_ID,
+                            path=path,
+                            line=suppression.line,
+                            col=suppression.col,
+                            message=(
+                                f"unknown rule id {rule!r} in `# repro: "
+                                "noqa[...]` — no such rule is registered, "
+                                "so this marker suppresses nothing "
+                                "(likely a typo; known ids: "
+                                f"{', '.join(rule_ids())})"
+                            ),
+                        )
+                    )
+                if unknown:
+                    continue  # the typo diagnosis subsumes staleness
                 if suppression.line in matched:
                     continue
                 if not self._stale_checkable(suppression):
@@ -390,11 +698,9 @@ class LintEngine:
     def _stale_checkable(self, suppression: Suppression) -> bool:
         """Stale-check only suppressions whose rules all ran: under
         ``--select REP006`` a ``noqa[REP001]`` is dormant, not stale."""
-        enabled = {rule.id for rule in self.rules}
+        enabled = self._enabled_ids()
         if suppression.rules is None:
-            return set(rule.id for rule in iter_rules()) <= enabled | {
-                STALE_RULE_ID
-            }
+            return set(rule_ids()) <= enabled | {STALE_RULE_ID}
         return set(suppression.rules) <= enabled
 
 
@@ -411,10 +717,12 @@ def _python_files(path: str) -> Iterator[str]:
 
 
 def lint_paths(
-    paths: Iterable[str], config: LintConfig | None = None
+    paths: Iterable[str],
+    config: LintConfig | None = None,
+    cache: "LintCache | None" = None,
 ) -> LintResult:
     """One-call façade: lint ``paths`` under ``config`` (or the default)."""
-    return LintEngine(config).lint_paths(paths)
+    return LintEngine(config).lint_paths(paths, cache=cache)
 
 
 def lint_source(

@@ -25,7 +25,12 @@ def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
     """The human report: one line per active finding, summary last."""
     lines: list[str] = []
     for error in result.errors:
-        location = f"{error.path}:{error.line}" if error.line else error.path
+        # 1-based column, like the findings — editors parse all of these.
+        location = (
+            f"{error.path}:{error.line}:{error.col + 1}"
+            if error.line
+            else error.path
+        )
         lines.append(f"{location}: error: {error.message}")
     for finding in result.findings:
         if finding.suppressed and not show_suppressed:
@@ -45,7 +50,7 @@ def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
 
 
 def _finding_payload(finding: Finding) -> dict[str, object]:
-    return {
+    payload: dict[str, object] = {
         "rule": finding.rule,
         "path": finding.path,
         "line": finding.line,
@@ -53,6 +58,11 @@ def _finding_payload(finding: Finding) -> dict[str, object]:
         "message": finding.message,
         "suppressed": finding.suppressed,
     }
+    # The witness chain is additive and optional: absent for per-module
+    # findings, so pre-REP009 consumers of the schema keep working.
+    if finding.witness:
+        payload["witness"] = list(finding.witness)
+    return payload
 
 
 def _error_payload(error: LintError) -> dict[str, object]:

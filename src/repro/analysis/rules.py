@@ -32,6 +32,22 @@ until now, *check*:
   loop needs a max-attempts escape (the :class:`repro.faults.RetryPolicy`
   pattern).
 
+The interprocedural rules consume the propagated facts of
+:mod:`repro.analysis.effects` instead of matching syntax, so they see
+through ``helper()`` indirection:
+
+* **REP009** — the purity contracts hold for the *whole call tree*: a
+  function in a clock-free module must not reach ``time.time`` through
+  any chain of calls, and a function outside the seeded entry points
+  must not reach a global-RNG construction.  Findings carry the witness
+  chain (``a → b → time.time``).
+* **REP010** — ``async def`` bodies in the serving tier must not call
+  (without awaiting) anything that *transitively* blocks — the
+  cross-function form of REP003.
+* **REP011** — everything handed to the process pool (``executor.submit``
+  arguments, ``WorkUnit`` payloads) must survive pickling: no lambdas,
+  nested functions, generator expressions, locks, or open files.
+
 Every rule is suppressible per line with ``# repro: noqa[REPnnn]`` plus a
 justification — see :mod:`repro.analysis.suppressions`.
 """
@@ -39,11 +55,22 @@ justification — see :mod:`repro.analysis.suppressions`.
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+from typing import Iterable
 
+from repro.analysis import effects
 from repro.analysis.config import module_matches
+from repro.analysis.effects import (
+    BLOCKING,
+    BLOCKING_CALLS,
+    CLOCK_CALLS,
+    GLOBAL_RNG,
+    NP_RANDOM_OK,
+    WALL_CLOCK,
+)
 from repro.analysis.engine import (
+    Finding,
     LintContext,
+    ProjectContext,
     Rule,
     dotted_name,
     register_rule,
@@ -65,22 +92,6 @@ def _call_dotted(node: ast.Call, ctx: LintContext) -> str | None:
 # ---------------------------------------------------------------------------
 # REP001 — seeded-RNG discipline
 # ---------------------------------------------------------------------------
-
-#: ``numpy.random`` attributes that are *fine* to touch anywhere: the
-#: explicit-seeding types the determinism contract is built from.
-_NP_RANDOM_OK = frozenset(
-    {
-        "Generator",
-        "BitGenerator",
-        "SeedSequence",
-        "PCG64",
-        "PCG64DXSM",
-        "MT19937",
-        "Philox",
-        "SFC64",
-    }
-)
-
 
 @register_rule
 class GlobalRngRule(Rule):
@@ -111,7 +122,7 @@ class GlobalRngRule(Rule):
             )
         elif name.startswith("numpy.random."):
             attr = name.rsplit(".", 1)[1]
-            if attr not in _NP_RANDOM_OK:
+            if attr not in NP_RANDOM_OK:
                 yield _at(
                     node,
                     f"legacy global-state RNG call np.random.{attr}(...) — "
@@ -129,23 +140,6 @@ class GlobalRngRule(Rule):
 # ---------------------------------------------------------------------------
 # REP002 — clock-free modules
 # ---------------------------------------------------------------------------
-
-_CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.process_time",
-        "time.process_time_ns",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.date.today",
-    }
-)
-
 
 @register_rule
 class WallClockRule(Rule):
@@ -166,7 +160,7 @@ class WallClockRule(Rule):
         if not isinstance(node, ast.Call):
             return
         name = _call_dotted(node, ctx)
-        if name in _CLOCK_CALLS:
+        if name in CLOCK_CALLS:
             yield _at(
                 node,
                 f"{name}() read inside a clock-free module — transitions "
@@ -178,25 +172,6 @@ class WallClockRule(Rule):
 # ---------------------------------------------------------------------------
 # REP003 — non-blocking async bodies
 # ---------------------------------------------------------------------------
-
-_BLOCKING_CALLS = frozenset(
-    {
-        "time.sleep",
-        "os.system",
-        "os.popen",
-        "os.wait",
-        "os.waitpid",
-        "subprocess.run",
-        "subprocess.call",
-        "subprocess.check_call",
-        "subprocess.check_output",
-        "subprocess.Popen",
-        "socket.create_connection",
-        "urllib.request.urlopen",
-        "requests.get",
-        "requests.post",
-    }
-)
 
 _ENGINE_DISPATCH_ATTRS = frozenset(
     {"rank", "rank_many", "rank_many_submit"}
@@ -221,7 +196,7 @@ class BlockingAsyncRule(Rule):
             return
         name = _call_dotted(node, ctx)
         if name is not None:
-            if name in _BLOCKING_CALLS:
+            if name in BLOCKING_CALLS:
                 fix = (
                     "await asyncio.sleep(...)"
                     if name == "time.sleep"
@@ -368,45 +343,9 @@ class LegacyConstructorRule(Rule):
 # REP006 — ordered-iteration discipline in digest-feeding modules
 # ---------------------------------------------------------------------------
 
-_DICT_VIEWS = frozenset({"keys", "values", "items"})
-
-#: Builtins whose result does not depend on their argument's iteration
-#: order — a generator over ``.items()`` fed straight into one of these is
-#: order-free by construction.
-_ORDER_INSENSITIVE_CONSUMERS = frozenset(
-    {"sorted", "min", "max", "sum", "len", "any", "all"}
-)
-
-
-def _consumed_order_free(ctx: LintContext) -> bool:
-    """Whether the comprehension being visited is the direct argument of an
-    order-insensitive builtin (``sorted(x for x in d.items())``)."""
-    parent = ctx.parent()
-    return (
-        isinstance(parent, ast.Call)
-        and isinstance(parent.func, ast.Name)
-        and parent.func.id in _ORDER_INSENSITIVE_CONSUMERS
-    )
-
-
-def _unordered_reason(expr: ast.AST) -> str | None:
-    """Why ``expr`` iterates in an unverifiable order, or ``None``."""
-    if isinstance(expr, ast.Set):
-        return "a set literal"
-    if isinstance(expr, ast.SetComp):
-        return "a set comprehension"
-    if isinstance(expr, ast.Call):
-        func = expr.func
-        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
-            return f"{func.id}(...)"
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in _DICT_VIEWS
-            and not expr.args
-            and not expr.keywords
-        ):
-            return f".{func.attr}()"
-    return None
+# The structural detectors (order-free consumption, unordered reasons)
+# live in repro.analysis.effects so the transitive pass infers its
+# UNORDERED_ITER sources from the exact same predicates.
 
 
 @register_rule
@@ -431,10 +370,10 @@ class UnorderedIterationRule(Rule):
         elif isinstance(
             node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
         ):
-            if not _consumed_order_free(ctx):
+            if not effects.consumed_order_free(ctx.parent()):
                 iterables.extend(gen.iter for gen in node.generators)
         for expr in iterables:
-            reason = _unordered_reason(expr)
+            reason = effects.unordered_reason(expr)
             if reason is not None:
                 yield _at(
                     expr,
@@ -504,77 +443,6 @@ class SwallowedExceptionRule(Rule):
 # ---------------------------------------------------------------------------
 
 
-def _is_unbounded_loop(node: ast.AST, ctx: LintContext) -> bool:
-    """``while True`` (or ``while 1``), or ``for … in itertools.count()``."""
-    if isinstance(node, ast.While):
-        test = node.test
-        return isinstance(test, ast.Constant) and bool(test.value)
-    if isinstance(node, ast.For) and isinstance(node.iter, ast.Call):
-        return _call_dotted(node.iter, ctx) == "itertools.count"
-    return False
-
-
-def _loop_level_statements(loop: ast.While | ast.For) -> Iterator[ast.stmt]:
-    """Statements at this loop's own level: descend through ifs/withs/tries,
-    but never into nested loops or function/class definitions (their
-    `continue`/`break` bind elsewhere)."""
-    stack: list[ast.stmt] = list(loop.body)
-    while stack:
-        stmt = stack.pop()
-        if isinstance(
-            stmt,
-            (
-                ast.While,
-                ast.For,
-                ast.AsyncFor,
-                ast.FunctionDef,
-                ast.AsyncFunctionDef,
-                ast.ClassDef,
-            ),
-        ):
-            continue
-        yield stmt
-        for field_name in ("body", "orelse", "finalbody", "handlers"):
-            for child in getattr(stmt, field_name, ()) or ():
-                if isinstance(child, ast.ExceptHandler):
-                    stack.extend(child.body)
-                elif isinstance(child, ast.stmt):
-                    stack.append(child)
-
-
-def _retries_unconditionally(handler: ast.ExceptHandler) -> bool:
-    """A handler that loops again on failure with no escape: it contains a
-    ``continue`` and no ``raise``/``break``/``return`` at the handler's own
-    level (an escape statement is what bounds the retry)."""
-    retries = False
-    stack: list[ast.stmt] = list(handler.body)
-    while stack:
-        stmt = stack.pop()
-        if isinstance(
-            stmt,
-            (
-                ast.While,
-                ast.For,
-                ast.AsyncFor,
-                ast.FunctionDef,
-                ast.AsyncFunctionDef,
-                ast.ClassDef,
-            ),
-        ):
-            continue
-        if isinstance(stmt, (ast.Raise, ast.Break, ast.Return)):
-            return False
-        if isinstance(stmt, ast.Continue):
-            retries = True
-        for field_name in ("body", "orelse", "finalbody", "handlers"):
-            for child in getattr(stmt, field_name, ()) or ():
-                if isinstance(child, ast.ExceptHandler):
-                    stack.extend(child.body)
-                elif isinstance(child, ast.stmt):
-                    stack.append(child)
-    return retries
-
-
 @register_rule
 class UnboundedRetryRule(Rule):
     id = "REP008"
@@ -594,13 +462,13 @@ class UnboundedRetryRule(Rule):
     def visit(self, node: ast.AST, ctx: LintContext) -> _FindingTriples:
         if not isinstance(node, (ast.While, ast.For)):
             return
-        if not _is_unbounded_loop(node, ctx):
+        if not effects.is_unbounded_loop(node, ctx.resolve):
             return
-        for stmt in _loop_level_statements(node):
+        for stmt in effects.loop_level_statements(node):
             if not isinstance(stmt, ast.Try):
                 continue
             for handler in stmt.handlers:
-                if _retries_unconditionally(handler):
+                if effects.retries_unconditionally(handler):
                     yield _at(
                         node,
                         "unbounded retry: this loop never terminates and "
@@ -610,3 +478,177 @@ class UnboundedRetryRule(Rule):
                         "repro.faults.RetryPolicy) or add an escape",
                     )
                     return
+
+
+# ---------------------------------------------------------------------------
+# REP009 — transitive purity (wall-clock / global RNG through call chains)
+# ---------------------------------------------------------------------------
+
+
+def _function_module(project: ProjectContext, qname: str) -> str | None:
+    info = project.effects.graph.symbols.get(qname)
+    return None if info is None else info.module
+
+
+@register_rule
+class TransitivePurityRule(Rule):
+    id = "REP009"
+    summary = "indirect wall-clock/RNG reach into a purity-contracted module"
+    rationale = (
+        "REP001/REP002 match the primitive where it is written, so "
+        "`helper()` -> `time.time()` sails through the per-module pass. "
+        "This rule consumes the propagated effect facts: a function in a "
+        "clock-free module whose call tree reaches a clock read, or a "
+        "function outside the seeded entry points whose call tree "
+        "constructs a global RNG, is flagged at the call edge the effect "
+        "arrives through, with the full witness chain in the message."
+    )
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        contracts = (
+            (WALL_CLOCK, "clock-free", "a wall-clock read"),
+            (GLOBAL_RNG, "seeded-discipline", "a global-RNG construction"),
+        )
+        for qname in sorted(project.effects.graph.symbols):
+            module = _function_module(project, qname)
+            if module is None or not project.in_target(module):
+                continue
+            info = project.effects.graph.symbols[qname]
+            for effect, contract, what in contracts:
+                if effect == WALL_CLOCK and not module_matches(
+                    module, project.config.clock_free_modules
+                ):
+                    continue
+                if effect == GLOBAL_RNG and module_matches(
+                    module, project.config.rng_entry_points
+                ):
+                    continue
+                witness = project.effects.witness(qname, effect)
+                if witness is None or witness.kind != "call":
+                    continue  # direct primitives are REP001/REP002's job
+                chain = project.effects.render_chain(qname, effect)
+                hops = project.effects.chain(qname, effect)
+                yield Finding(
+                    rule=self.id,
+                    path=info.path,
+                    line=witness.line,
+                    col=witness.col,
+                    message=(
+                        f"this call transitively reaches {what} from a "
+                        f"{contract} module: {chain} — thread the value "
+                        "in as a parameter, or justify the whole chain "
+                        "with a noqa at the primitive"
+                    ),
+                    witness=(qname,) + tuple(w.detail for w in hops),
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP010 — transitive blocking reachable from `async def`
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class TransitiveBlockingRule(Rule):
+    id = "REP010"
+    summary = "sync call from `async def` into a transitively blocking callee"
+    rationale = (
+        "REP003 flags `time.sleep` written inside an `async def`; it "
+        "cannot see `async def h(): helper()` where `helper` sleeps two "
+        "calls down. Any non-awaited call edge from an async body in the "
+        "serving tier into a callee carrying the blocking effect stalls "
+        "the event loop just the same — hop it through the executor, or "
+        "await an async counterpart."
+    )
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project.effects.graph
+        for caller in sorted(graph.edges):
+            info = graph.symbols.get(caller)
+            if info is None:
+                continue
+            if not project.in_target(info.module):
+                continue
+            if not module_matches(
+                info.module, project.config.async_modules
+            ):
+                continue
+            for edge in graph.callees(caller):
+                if not edge.in_async or edge.awaited:
+                    continue
+                if not project.effects.has(edge.callee, BLOCKING):
+                    continue
+                chain = project.effects.render_chain(edge.callee, BLOCKING)
+                hops = project.effects.chain(edge.callee, BLOCKING)
+                yield Finding(
+                    rule=self.id,
+                    path=info.path,
+                    line=edge.line,
+                    col=edge.col,
+                    message=(
+                        f"sync call from `async def` into a transitively "
+                        f"blocking callee: {caller} → {chain} — cross the "
+                        "executor hop (loop.run_in_executor) or await an "
+                        "async counterpart"
+                    ),
+                    witness=(caller, edge.callee)
+                    + tuple(w.detail for w in hops),
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP011 — picklable pool payloads
+# ---------------------------------------------------------------------------
+
+_REASON_FIXES = {
+    "lambda": "hoist it to a module-level function",
+    "genexp": "materialize it to a list before submitting",
+    "nested-function": "hoist it to module level (workers re-import it "
+    "by qualified name)",
+    "lock": "keep synchronization in the parent; workers get data, "
+    "not locks",
+    "open-file": "pass the path and open inside the worker",
+}
+
+
+@register_rule
+class UnpicklableSubmissionRule(Rule):
+    id = "REP011"
+    summary = "unpicklable object handed to the process pool"
+    rationale = (
+        "Everything submitted to the pool (`executor.submit` arguments, "
+        "`WorkUnit` fields) crosses a pickle boundary. Lambdas, nested "
+        "functions, generators, locks, and open files fail that "
+        "round-trip — under the spawn start method only, so the code "
+        "works on the author's fork-based Linux box and dispatch-crashes "
+        "on macOS/Windows CI."
+    )
+    project = True
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        for summary in project.summaries:
+            if not project.in_target(summary.module):
+                continue
+            if not module_matches(
+                summary.module, project.config.pool_submit_modules
+            ):
+                continue
+            for sub in summary.index.submissions:
+                fix = _REASON_FIXES.get(sub.reason, "make it picklable")
+                where = (
+                    "an executor submission"
+                    if sub.site == "submit"
+                    else f"a {sub.site}(...) payload"
+                )
+                yield Finding(
+                    rule=self.id,
+                    path=summary.path,
+                    line=sub.line,
+                    col=sub.col,
+                    message=(
+                        f"{sub.detail} in {where} cannot cross the "
+                        f"pickle boundary to a pool worker — {fix}"
+                    ),
+                )

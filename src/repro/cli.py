@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import os
 import sys
 
@@ -266,11 +267,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint",
         help=(
-            "run the repo's static-analysis rules (REP001-REP008: seeded "
+            "run the repo's static-analysis rules (REP001-REP011: seeded "
             "RNG, clock-free sans-IO, non-blocking async, cache/registry "
             "discipline, sorted digest iteration, worker error hygiene, "
-            "bounded retries); exits 0 when clean, 1 on findings, 2 on "
-            "usage/parse errors"
+            "bounded retries, plus the transitive call-graph rules and "
+            "picklable pool payloads); exits 0 when clean, 1 on findings, "
+            "2 on usage/parse errors"
         ),
     )
     p_lint.add_argument(
@@ -306,6 +308,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list the registered rules with their rationale and exit",
+    )
+    p_lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the incremental cache: re-parse and re-analyze "
+             "every module from scratch",
+    )
+    p_lint.add_argument(
+        "--cache-file",
+        metavar="FILE",
+        default=None,
+        help="incremental cache location "
+             "(default: .repro-lint-cache.json)",
+    )
+    p_lint.add_argument(
+        "--cache-stats",
+        metavar="FILE",
+        default=None,
+        help="also write cache hit/miss counters to FILE as JSON "
+             "(the CI artefact)",
+    )
+    p_lint.add_argument(
+        "--explain",
+        metavar="REPnnn:PATH:LINE",
+        default=None,
+        help="print the witness call chain for the transitive finding "
+             "of rule REPnnn at PATH:LINE, then exit",
     )
 
     p_all = sub.add_parser(
@@ -450,6 +479,28 @@ def _parse_rule_list(spec: str | None, what: str) -> tuple[str, ...] | None:
     return names
 
 
+def _parse_explain_spec(spec: str) -> tuple[str, str, int]:
+    """``REPnnn:path:line`` → its three validated parts.
+
+    The path may itself contain colons only on platforms where that is
+    unlikely anyway; splitting rule off the front and line off the back
+    keeps ordinary paths working.
+    """
+    head, _, rest = spec.partition(":")
+    body, _, line_text = rest.rpartition(":")
+    if not head or not body or not line_text:
+        raise _LintUsageError(
+            f"--explain wants REPnnn:PATH:LINE, got {spec!r}"
+        )
+    try:
+        line = int(line_text)
+    except ValueError:
+        raise _LintUsageError(
+            f"--explain line must be an integer, got {line_text!r}"
+        )
+    return head.upper(), body, line
+
+
 def _cmd_lint(args) -> int:
     """The ``lint`` subcommand — the self-hosted static-analysis gate.
 
@@ -459,7 +510,9 @@ def _cmd_lint(args) -> int:
     Python, malformed noqa markers).
     """
     from repro.analysis import (
+        DEFAULT_CACHE_PATH,
         DEFAULT_CONFIG,
+        LintCache,
         LintEngine,
         iter_rules,
         render_json,
@@ -474,6 +527,9 @@ def _cmd_lint(args) -> int:
     try:
         select = _parse_rule_list(args.select, "select")
         ignore = _parse_rule_list(args.ignore, "ignore") or ()
+        explain = (
+            None if args.explain is None else _parse_explain_spec(args.explain)
+        )
     except _LintUsageError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -484,8 +540,26 @@ def _cmd_lint(args) -> int:
         if not os.path.exists(path):
             print(f"lint: no such file or directory: {path}", file=sys.stderr)
             return 2
-    engine = LintEngine(DEFAULT_CONFIG.with_rules(select=select, ignore=ignore))
-    result = engine.lint_paths(args.paths)
+    config = DEFAULT_CONFIG.with_rules(select=select, ignore=ignore)
+    engine = LintEngine(config)
+    cache = None
+    if not args.no_cache:
+        cache_path = args.cache_file or DEFAULT_CACHE_PATH
+        cache = LintCache(cache_path, config)
+    result = engine.lint_paths(args.paths, cache=cache)
+    if cache is not None:
+        try:
+            cache.save()
+        except OSError as exc:
+            # A read-only checkout must not fail the gate over the cache.
+            print(f"lint: could not write cache: {exc}", file=sys.stderr)
+    if args.cache_stats is not None:
+        stats = cache.stats.as_dict() if cache is not None else {}
+        with open(args.cache_stats, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, sort_keys=True)
+            fh.write("\n")
+    if explain is not None:
+        return _explain_finding(result, explain)
     if args.format == "json":
         print(render_json(result))
     else:
@@ -493,6 +567,34 @@ def _cmd_lint(args) -> int:
     if result.errors:
         return 2
     return 0 if not result.active else 1
+
+
+def _explain_finding(result, spec: tuple[str, str, int]) -> int:
+    """``--explain REPnnn:path:line``: print the matching finding's
+    message and witness chain, one hop per line."""
+    rule, path, line = spec
+    wanted = os.path.abspath(path)
+    for finding in result.findings:
+        if finding.rule != rule or finding.line != line:
+            continue
+        if os.path.abspath(finding.path) != wanted:
+            continue
+        print(f"{finding.location()}: {finding.rule} {finding.message}")
+        if finding.witness:
+            print("witness chain:")
+            indent = 2
+            for hop in finding.witness:
+                print(f"{' ' * indent}{hop}")
+                indent += 2
+        else:
+            print("(no witness chain: this is a direct, per-module finding)")
+        return 0
+    print(
+        f"lint: no {rule} finding at {path}:{line} "
+        "(run without --explain to list findings)",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _serve_config(args):

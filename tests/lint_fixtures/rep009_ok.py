@@ -1,0 +1,36 @@
+"""REP009 true negatives: pure call chains in a clock-free module.
+
+Linted as ``repro.serve.core``.  Values the contract cares about —
+timestamps, generators — arrive as parameters and flow down the chain,
+so no function inherits an effect; recursion over pure helpers must not
+trip the fixpoint either.
+"""
+
+import numpy as np
+
+
+def pure_rank(scores, now):
+    return sorted(scores, reverse=True), now
+
+
+def compose(scores, now):
+    return pure_rank(scores, now)
+
+
+def draw(rng: np.random.Generator, n):
+    return rng.permutation(n)
+
+
+def sample_with(rng):
+    return draw(rng, 5)
+
+
+def fold(values, acc=0):
+    if not values:
+        return acc
+    return fold(values[1:], acc + values[0])
+
+
+def seeded_types(entropy):
+    seq = np.random.SeedSequence(entropy)
+    return np.random.Generator(np.random.PCG64(seq))

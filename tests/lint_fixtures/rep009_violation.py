@@ -1,0 +1,44 @@
+"""REP009 true positives: indirect clock/RNG reach through call chains.
+
+Linted as ``repro.serve.core`` (clock-free, and not a seeded entry
+point).  The primitives themselves are REP001/REP002's findings; REP009
+fires one level up, on the call edge the effect arrives through, and on
+every function that inherits it — including through recursion (the
+SCC-aware fixpoint grounds the self-loop) and mutual recursion.
+"""
+
+import time
+
+import numpy as np
+
+
+def read_clock():
+    return time.monotonic()  # expect: REP002
+
+
+def tick():
+    return read_clock()  # expect: REP009
+
+
+def fork_stream():
+    return np.random.default_rng()  # expect: REP001
+
+
+def sample():
+    return fork_stream()  # expect: REP009
+
+
+def countdown(n):
+    if n > 0:
+        return countdown(n - 1)
+    return read_clock()  # expect: REP009
+
+
+def ping(n):
+    return pong(n)  # expect: REP009
+
+
+def pong(n):
+    if n > 0:
+        return ping(n - 1)
+    return read_clock()  # expect: REP009

@@ -1,0 +1,34 @@
+"""REP010 true negatives: async bodies that never block the loop.
+
+Linted as ``repro.serve.handler``.  Pure sync helpers are fine to call
+inline; awaited edges are fine (the callee is analyzed on its own
+terms); and a blocking helper that only sync code calls is the sync
+world's business.
+"""
+
+import asyncio
+import time
+
+
+def compute(x):
+    return x * 2
+
+
+async def handle(request):
+    return compute(request)
+
+
+async def pause():
+    await asyncio.sleep(0.01)
+
+
+async def flow():
+    return await pause()
+
+
+def blocking_probe():
+    time.sleep(0.01)
+
+
+def sync_caller():
+    return blocking_probe()

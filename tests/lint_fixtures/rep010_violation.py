@@ -1,0 +1,27 @@
+"""REP010 true positives: transitive blocking reached from ``async def``.
+
+Linted as ``repro.serve.handler`` (the serving tier's async scope).  The
+sleep lives in *sync* helpers, so per-module REP003 cannot see it; the
+transitive rule flags the non-awaited call edges from the async bodies,
+one and two hops up the chain.
+"""
+
+import time
+
+
+def resolve_sync():
+    time.sleep(0.01)
+
+
+def relay():
+    return resolve_sync()
+
+
+async def handle(request):
+    resolve_sync()  # expect: REP010
+    return request
+
+
+async def dispatch(request):
+    relay()  # expect: REP010
+    return request

@@ -1,0 +1,32 @@
+"""REP011 true negatives: picklable pool payloads and non-pool submits.
+
+Linted as ``repro.batch.schedule``.  Module-level functions and plain
+data cross the pickle boundary fine; ``server.submit`` / ``core.submit``
+are admission calls, not pool dispatches, so their arguments are not
+payloads at all.
+"""
+
+
+def submit_module_fn(executor, rows):
+    return executor.submit(work, list(rows))
+
+
+def submit_rebound(executor):
+    fn = work
+    return executor.submit(fn)
+
+
+def unit_ok(key, seed):
+    return WorkUnit(key=key, fn=work, seed=seed, payload=(1, 2))
+
+
+def admission(server, request):
+    return server.submit(request)
+
+
+def core_admission(core, request):
+    return core.submit(request)
+
+
+def work(*args):
+    return args

@@ -1,0 +1,45 @@
+"""REP011 true positives: unpicklable payloads handed to the pool.
+
+Linted as ``repro.batch.schedule`` (pool-submission scope).  Each shape
+fails the pickle round-trip to a worker by construction: lambdas and
+nested functions have no importable qualified name, generators hold
+frame state, locks and open files hold OS handles.
+"""
+
+import threading
+
+
+def submit_lambda(executor):
+    return executor.submit(lambda: 1)  # expect: REP011
+
+
+def submit_lock(executor, payload):
+    lock = threading.Lock()
+    return executor.submit(work, payload, lock)  # expect: REP011
+
+
+def submit_genexp(executor, rows):
+    return executor.submit(work, (r for r in rows))  # expect: REP011
+
+
+def submit_closure(executor):
+    def inner(x):
+        return x + 1
+
+    return executor.submit(inner, 1)  # expect: REP011
+
+
+def unit_with_lambda(key):
+    return WorkUnit(key=key, fn=lambda seed: seed, seed=0)  # expect: REP011
+
+
+def unit_with_file(key, path):
+    return WorkUnit(key=key, fn=run, payload=open(path))  # expect: REP011
+
+
+def work(*args):
+    return args
+
+
+def run(payload):
+    return payload

@@ -1,5 +1,5 @@
 """Suppression fixtures: justified markers, a blanket marker, a multi-rule
-line, and two stale markers.
+line, two stale markers, and markers naming rule ids that do not exist.
 
 Linted as ``repro.engine.newmod`` (digest scope, not a seeded entry
 point) — REP006/REP001 fire on the unsuppressed shapes, and the markers
@@ -30,3 +30,15 @@ def stale_markers(units: list):
     for unit in units:  # repro: noqa[REP006] stale: lists are ordered  # expect: REP000
         total += unit
     return total  # repro: noqa  # expect: REP000
+
+
+def typo_marker(units: list):
+    out = []
+    for unit in units:  # repro: noqa[REP0O9] letter-O typo, suppresses nothing  # expect: REP000
+        out.append(unit)
+    return out
+
+
+def typo_beside_real(table: dict):
+    # The unknown id fires even though the REP006 half matched a finding.
+    return [k for k in table.keys()]  # repro: noqa[REP006, REP0O1] half typo  # expect: REP000

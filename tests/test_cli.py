@@ -244,6 +244,100 @@ class TestLintCommand:
         for rule_id in ("REP001", "REP004", "REP007"):
             assert rule_id in out
 
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        binary = tmp_path / "not_text.py"
+        binary.write_bytes(b"\xff\xfe\x00junk")
+        assert main(["lint", str(binary), "--no-cache"]) == 2
+        out = capsys.readouterr().out
+        # One reported error line, no traceback.
+        assert str(binary) in out
+        assert "1 error" in out
+
+    def test_no_cache_skips_the_cache_file(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "ok.py", "--no-cache"]) == 0
+        assert not (tmp_path / ".repro-lint-cache.json").exists()
+        # The default-on cache writes to the default location.
+        assert main(["lint", "ok.py"]) == 0
+        assert (tmp_path / ".repro-lint-cache.json").exists()
+        capsys.readouterr()
+
+    def test_warm_cache_output_identical_with_stats(self, tmp_path, capsys):
+        bad = tmp_path / "core.py"
+        bad.write_text(
+            "from repro.batch.cache import KernelCache\n"
+            "CACHE = KernelCache()\n"
+        )
+        cache_file = tmp_path / "cache.json"
+        stats_file = tmp_path / "stats.json"
+        base = [
+            "lint", str(bad), "--format", "json",
+            "--cache-file", str(cache_file),
+            "--cache-stats", str(stats_file),
+        ]
+        assert main(base) == 1
+        cold = capsys.readouterr().out
+        import json as _json
+
+        assert _json.loads(stats_file.read_text())["summary_misses"] == 1
+        assert main(base) == 1
+        warm = capsys.readouterr().out
+        assert warm == cold
+        stats = _json.loads(stats_file.read_text())
+        assert stats["summary_hits"] == 1
+        assert stats["summary_misses"] == 0
+
+    def _transitive_tree(self, tmp_path):
+        """A package whose REP009 finding is at ``core.py:9``."""
+        serve = tmp_path / "repro" / "serve"
+        serve.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (serve / "__init__.py").write_text("")
+        core = serve / "core.py"
+        core.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def read_clock():\n"
+            "    return time.time()\n"
+            "\n"
+            "\n"
+            "def tick():\n"
+            "    return read_clock()\n"
+        )
+        return str(tmp_path / "repro"), str(core)
+
+    def test_explain_prints_witness_chain(self, tmp_path, capsys):
+        tree, core = self._transitive_tree(tmp_path)
+        spec = f"REP009:{core}:9"
+        assert main(["lint", tree, "--no-cache", "--explain", spec]) == 0
+        out = capsys.readouterr().out
+        assert f"{core}:9:" in out
+        assert "witness chain:" in out
+        assert "time.time" in out
+
+    def test_explain_direct_finding_has_no_chain(self, tmp_path, capsys):
+        tree, core = self._transitive_tree(tmp_path)
+        spec = f"REP002:{core}:5"
+        assert main(["lint", tree, "--no-cache", "--explain", spec]) == 0
+        out = capsys.readouterr().out
+        assert "no witness chain" in out
+
+    def test_explain_no_match_exits_two(self, tmp_path, capsys):
+        tree, core = self._transitive_tree(tmp_path)
+        spec = f"REP009:{core}:999"
+        assert main(["lint", tree, "--no-cache", "--explain", spec]) == 2
+        assert "no REP009 finding" in capsys.readouterr().err
+
+    def test_explain_malformed_spec_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        target = str(tmp_path / "ok.py")
+        assert main(["lint", target, "--explain", "REP009"]) == 2
+        assert "--explain wants" in capsys.readouterr().err
+        assert main(["lint", target, "--explain", "REP009:x:abc"]) == 2
+        assert "must be an integer" in capsys.readouterr().err
+
 
 class TestServeCommand:
     def test_parser_defaults(self):

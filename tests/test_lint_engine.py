@@ -47,6 +47,12 @@ FIXTURE_MODULES = {
     "rep007_ok.py": "repro.batch.schedule",
     "rep008_violation.py": "repro.faults.fixture",
     "rep008_ok.py": "repro.faults.fixture",
+    "rep009_violation.py": "repro.serve.core",
+    "rep009_ok.py": "repro.serve.core",
+    "rep010_violation.py": "repro.serve.handler",
+    "rep010_ok.py": "repro.serve.handler",
+    "rep011_violation.py": "repro.batch.schedule",
+    "rep011_ok.py": "repro.batch.schedule",
     "suppressed.py": "repro.engine.newmod",
 }
 
@@ -118,6 +124,11 @@ class TestScoping:
             ("rep005_violation.py", "repro.engine.registry"),
             ("rep006_violation.py", "repro.fairness.checks"),
             ("rep007_violation.py", "repro.rankings.sorting"),
+            # repro.experiments.driver: a seeded entry point (RNG fine)
+            # that is not clock-free, so neither REP009 arm applies.
+            ("rep009_violation.py", "repro.experiments.driver"),
+            ("rep010_violation.py", "repro.batch.kernels"),
+            ("rep011_violation.py", "repro.rankings.sorting"),
         ],
     )
     def test_out_of_scope_is_clean(self, name, out_of_scope_module):
@@ -214,7 +225,9 @@ class TestReporters:
 
     def test_text_report_lists_location_rule_message(self):
         text = render_text(self._result())
-        assert "core.py:3:11: REP002" in text
+        # Columns are 1-based in the text report (editor convention);
+        # the AST's 0-based col 11 renders as 12.
+        assert "core.py:3:12: REP002" in text
         assert "1 finding" in text and "(1 suppressed" in text
         assert "monotonic" not in text  # suppressed hidden by default
 
