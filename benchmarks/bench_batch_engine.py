@@ -294,6 +294,7 @@ def test_parallel_pipeline_fanout(workload, fast_mode, report):
         metrics={
             "m": m, "n": N_ITEMS, "n_jobs": n_jobs, "cores": cores,
             "single_s": single_s, "fanout_s": fanout_s, "speedup": speedup,
+            "fanout_assertion_active": not fast_mode and cores >= 4,
         },
     )
     if not fast_mode and cores >= 4:

@@ -139,6 +139,7 @@ def test_rank_many_streaming_fanout(fast_mode, report):
             "utilization": stats.utilization,
             "cost_table": stats.cost_table,
             "latency_percentiles": latency_percentiles,
+            "fanout_assertion_active": not fast_mode and cores >= 4,
         },
     )
     if not fast_mode and cores >= 4:

@@ -64,6 +64,7 @@ def test_run_all_scheduler_fanout(fast_mode, report):
             "n_jobs": n_jobs, "cores": cores, "serial_s": serial_s,
             "fanout_s": fanout_s, "speedup": speedup,
             "digest": serial_digest,
+            "fanout_assertion_active": not fast_mode and cores >= 4,
         },
     )
     if not fast_mode and cores >= 4:
@@ -114,6 +115,7 @@ def test_heavy_trials_clamp_stays_parallel(fast_mode, report):
         metrics={
             "cores": cores, "size": size, "n_trials": n_trials,
             "serial_s": serial_s, "clamped_s": clamp_s, "speedup": speedup,
+            "fanout_assertion_active": not fast_mode and cores >= 4,
         },
     )
     if not fast_mode and cores >= 4:

@@ -11,6 +11,12 @@ The PR-6 acceptance cases live here:
   coalescing factor land in the ``BENCH_*.json`` trajectory;
 * cost-priced admission under a deliberately starved budget sheds load
   with structured rejections instead of queueing without bound.
+
+The PR-10 case races the same client swarm in-process vs over the wire:
+an :class:`~repro.net.HttpRankingServer` on a localhost socket, an
+:class:`~repro.net.AsyncHttpClient` as the ``run_load`` transport, both
+digest-checked against the serial loop, with p50/p95/p99 latencies for
+both transports landing in ``BENCH_PR10.json``.
 """
 
 from __future__ import annotations
@@ -19,7 +25,14 @@ import asyncio
 import os
 
 from repro.engine import RankingEngine, responses_digest
-from repro.serve import AsyncRankingServer, ServeConfig, run_load, synthetic_requests
+from repro.net import AsyncHttpClient, HttpRankingServer
+from repro.serve import (
+    AsyncRankingServer,
+    ServeConfig,
+    pin_request_seeds,
+    run_load,
+    synthetic_requests,
+)
 
 SEED = 2026
 
@@ -106,6 +119,79 @@ def test_serve_digest_and_coalescing(fast_mode, report):
                 "dispatched_batches": off_stats.dispatched_batches,
             },
             "latency_percentiles": percentiles,
+        },
+    )
+
+
+def test_http_frontend_races_in_process_tier(fast_mode, report):
+    """The wire-tax measurement: the same pinned request swarm served
+    in-process and over localhost HTTP, both byte-identical to the
+    serial loop, with per-transport latency percentiles recorded."""
+    cores = os.cpu_count() or 1
+    n_requests = 32 if fast_mode else 96
+    n_jobs = 2 if fast_mode else min(4, cores)
+    requests = pin_request_seeds(
+        synthetic_requests(n_requests, seed=7), seed=SEED
+    )
+    config = ServeConfig(batch_window=0.005, max_batch_size=16, n_jobs=n_jobs)
+
+    with RankingEngine(n_jobs=1) as ref:
+        serial = responses_digest(ref.rank_many(requests, n_jobs=1))
+
+    async def http_session(engine):
+        async with HttpRankingServer(engine, config) as server:
+            async with AsyncHttpClient("127.0.0.1", server.port) as client:
+                report_ = await run_load(client, requests)
+                return report_, server.inner.stats()
+
+    with RankingEngine(n_jobs=n_jobs) as engine:
+        engine.warm_up()
+        inproc_report, inproc_stats = _swarm(engine, config, requests)
+        http_report, http_stats = asyncio.run(http_session(engine))
+
+    assert inproc_report.served == n_requests, inproc_report.summary()
+    assert http_report.served == n_requests, http_report.summary()
+    # The determinism contract must survive the wire: pinned seeds make
+    # both transports byte-identical to the serial loop.
+    assert inproc_report.digest() == serial
+    assert http_report.digest() == serial
+
+    inproc_pct = inproc_report.latency_percentiles()
+    http_pct = http_report.latency_percentiles()
+    lines = [
+        f"{n_requests} clients, engine n_jobs={n_jobs} ({cores} cores), "
+        f"HTTP coalescing {http_stats.coalescing:.2f} req/batch",
+        f"in-process : {inproc_report.throughput:9.1f} req/s (byte-equal)",
+        f"over HTTP  : {http_report.throughput:9.1f} req/s (byte-equal)",
+    ]
+    for label, pct in sorted(http_pct.items()):
+        base = inproc_pct.get(label, {})
+        lines.append(
+            f"{label:24s} http "
+            + "  ".join(f"{k}={v * 1e3:7.2f} ms" for k, v in pct.items())
+            + "   in-proc "
+            + "  ".join(f"{k}={v * 1e3:7.2f} ms" for k, v in base.items())
+        )
+    report(
+        "Serve — HTTP frontend vs in-process tier (same swarm)",
+        "\n".join(lines),
+        metrics={
+            "requests": n_requests,
+            "cores": cores,
+            "n_jobs": n_jobs,
+            "digest": serial,
+            "in_process": {
+                "throughput_rps": inproc_report.throughput,
+                "elapsed_s": inproc_report.elapsed,
+                "requests_per_batch": inproc_stats.coalescing,
+                "latency_percentiles": inproc_pct,
+            },
+            "http": {
+                "throughput_rps": http_report.throughput,
+                "elapsed_s": http_report.elapsed,
+                "requests_per_batch": http_stats.coalescing,
+                "latency_percentiles": http_pct,
+            },
         },
     )
 

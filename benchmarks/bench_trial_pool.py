@@ -71,6 +71,7 @@ def test_german_credit_trial_fanout(fast_mode, report):
         metrics={
             "n_jobs": n_jobs, "cores": cores, "serial_s": serial_s,
             "fanout_s": fanout_s, "speedup": speedup,
+            "fanout_assertion_active": not fast_mode and cores >= 4,
         },
     )
     if not fast_mode and cores >= 4:

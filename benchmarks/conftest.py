@@ -17,6 +17,7 @@ Three services for the per-figure benchmark files:
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 
@@ -141,6 +142,10 @@ def _write_json_results(config, path: str) -> None:
         "machine": {
             "python": platform.python_version(),
             "platform": platform.platform(),
+            # The fan-out speedup assertions are gated on >= 4 cores;
+            # recording the host's count makes the committed BENCH_*.json
+            # trajectory interpretable on few-core CI hosts.
+            "cpu_count": os.cpu_count(),
         },
         "reports": [
             {"title": title, "metrics": metrics}

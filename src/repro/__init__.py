@@ -47,6 +47,13 @@ byte-identical to the serial loop over the same submissions — see
 ``examples/serving_async.py`` and the ``repro serve`` / ``repro
 bench-client`` CLI commands.
 
+Remote clients reach the same tier over plain HTTP/1.1 + JSON through
+:mod:`repro.net` — a stdlib-only wire frontend (``HttpRankingServer`` /
+``AsyncHttpClient``) whose request schemas carry pinned seeds so served
+digests stay byte-identical across the network too.  See
+``examples/serving_http.py`` and ``repro serve --http HOST:PORT`` /
+``repro bench-client --http URL``.
+
 Pooled scheduling is fault tolerant (:mod:`repro.faults`): a worker
 death mid-run is recovered by rebuilding the pool and resubmitting the
 unserved units with their *original* seeds under a bounded
@@ -77,6 +84,9 @@ The package layers:
   coalescing micro-batches, cost-priced admission control, per-request
   deadlines/cancellation, the health circuit breaker, and the synthetic
   load generator;
+* :mod:`repro.net` — the stdlib HTTP/JSON wire frontend over the
+  serving tier: sans-IO HTTP/1.1 protocol core, versioned wire schemas,
+  the asyncio listener shell, and the keep-alive client;
 * :mod:`repro.faults` — fault-tolerant scheduling: supervised pool
   recovery under bounded retries, fault/rebuild telemetry, and the
   deterministic fault-injection harness;

@@ -70,12 +70,18 @@ class LintConfig:
     #: bugs or timing-only measurements that must be suppressed with a
     #: justification.  Deliberately absent: ``repro.batch.schedule`` and
     #: ``repro.engine.core`` (unit cost clocks), ``repro.serve.server`` and
-    #: ``repro.serve.loadgen`` (the asyncio/IO shells).
+    #: ``repro.serve.loadgen`` (the asyncio/IO shells), and likewise
+    #: ``repro.net.server``/``repro.net.client`` (the socket shells) —
+    #: but the sans-IO wire layers (``repro.net.protocol``,
+    #: ``repro.net.schemas``) are pure bytes/JSON transforms and are held
+    #: to the same bar as ``repro.serve.core``.
     clock_free_modules: tuple[str, ...] = (
         "repro.serve.core",
         "repro.serve.batching",
         "repro.serve.admission",
         "repro.serve.protocol",
+        "repro.net.protocol",
+        "repro.net.schemas",
         "repro.algorithms",
         "repro.aggregation",
         "repro.fairness",
@@ -91,8 +97,10 @@ class LintConfig:
     )
 
     # -- REP003: non-blocking async bodies --------------------------------
-    #: Modules whose ``async def`` bodies must never block the event loop.
-    async_modules: tuple[str, ...] = ("repro.serve",)
+    #: Modules whose ``async def`` bodies must never block the event loop:
+    #: the serving tier and the HTTP frontend over it (whose connection
+    #: handlers and client exchanges run on the same loop as dispatch).
+    async_modules: tuple[str, ...] = ("repro.serve", "repro.net")
 
     # -- REP004: cache discipline -----------------------------------------
     #: Modules allowed to construct :class:`~repro.batch.cache.KernelCache`
@@ -145,6 +153,7 @@ class LintConfig:
         "repro.engine.core",
         "repro.faults",
         "repro.serve",
+        "repro.net",
     )
 
     # -- REP011: picklable pool payloads ------------------------------------

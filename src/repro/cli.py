@@ -240,6 +240,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run the same submissions through a serial loop and "
              "assert the served responses digest byte-identically",
     )
+    p_serve.add_argument(
+        "--http", metavar="HOST:PORT", default=None,
+        help="instead of the in-process client swarm, expose the server "
+             "over HTTP/1.1 JSON (POST /v1/rank, POST /v1/rank_many, "
+             "GET /stats, GET /healthz) until SIGTERM/SIGINT, then drain "
+             "gracefully.  PORT 0 binds an ephemeral port; the bound "
+             "address is printed on stdout",
+    )
 
     p_client = sub.add_parser(
         "bench-client",
@@ -262,6 +270,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compare-coalescing", action="store_true",
         help="run the same load twice — micro-batching on vs off "
              "(max batch 1) — and print the throughput ratio",
+    )
+    p_client.add_argument(
+        "--http", metavar="URL", default=None,
+        help="drive a remote `repro serve --http` frontend at "
+             "http://HOST:PORT instead of an in-process server; "
+             "per-request seeds are pinned client-side so the served "
+             "digest stays comparable to the serial loop",
+    )
+    p_client.add_argument(
+        "--verify-digest", action="store_true",
+        help="assert the served responses digest byte-identically "
+             "against a serial rank_many over the same request stream",
     )
 
     p_lint = sub.add_parser(
@@ -626,11 +646,38 @@ def _print_load_report(report, stats, prefix: str = "") -> None:
         print(f"{prefix}  {label}: {rendered}")
 
 
-def _cmd_serve(args, engine: RankingEngine) -> int:
-    """The ``serve`` subcommand: an in-process serving-tier session."""
+def _serve_http(args, engine: RankingEngine, config) -> int:
+    """``serve --http``: expose the tier over HTTP until SIGTERM/SIGINT."""
     import asyncio
 
-    from repro.engine import responses_digest
+    from repro.net import HttpRankingServer
+
+    host, sep, port_text = args.http.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        raise SystemExit(f"--http expects HOST:PORT, got {args.http!r}")
+
+    async def session():
+        server = HttpRankingServer(engine, config, host=host, port=int(port_text))
+        await server.start()
+        # The bound address goes to stdout so harnesses driving
+        # ``--http HOST:0`` can read the ephemeral port back.
+        print(f"serving on http://{server.host}:{server.port}", flush=True)
+        print("# SIGTERM/SIGINT stops accepting and drains in-flight "
+              "requests", file=sys.stderr)
+        stats = server.inner.stats()
+        await server.serve_forever()
+        return stats
+
+    stats = asyncio.run(session())
+    print(f"drained: {stats.summary()}")
+    return 0
+
+
+def _cmd_serve(args, engine: RankingEngine) -> int:
+    """The ``serve`` subcommand: an in-process serving-tier session, or
+    an HTTP frontend over it (``--http``)."""
+    import asyncio
+
     from repro.serve import AsyncRankingServer, run_load, synthetic_requests
 
     if args.requests < 1:
@@ -640,6 +687,8 @@ def _cmd_serve(args, engine: RankingEngine) -> int:
         imported = engine.warm_start_costs(path)
         print(f"# warm-started {imported} cost kinds from {path}",
               file=sys.stderr)
+    if args.http is not None:
+        return _serve_http(args, engine, config)
     requests = synthetic_requests(args.requests, seed=args.seed)
 
     async def session():
@@ -650,24 +699,76 @@ def _cmd_serve(args, engine: RankingEngine) -> int:
     report, stats = asyncio.run(session())
     _print_load_report(report, stats)
     if args.verify_digest:
-        if report.served != len(requests):
-            raise SystemExit(
-                "digest verification needs every request served — relax "
-                "--budget/--queue-depth/--deadline"
+        _verify_serial_digest(report, requests, args.seed)
+    return 0
+
+
+def _verify_serial_digest(report, requests, seed) -> None:
+    """Assert a load report's digest equals a serial ``rank_many``."""
+    from repro.engine import responses_digest
+
+    if report.served != len(requests):
+        raise SystemExit(
+            "digest verification needs every request served — relax "
+            "--budget/--queue-depth/--deadline"
+        )
+    with RankingEngine(n_jobs=1) as ref:
+        serial = responses_digest(ref.rank_many(requests, seed=seed, n_jobs=1))
+    if report.digest() != serial:
+        raise SystemExit("digest mismatch: served != serial loop")
+    print(f"digest ok: {serial[:16]}… matches the serial loop")
+
+
+def _bench_client_http(args) -> int:
+    """``bench-client --http``: drive a remote frontend over the wire."""
+    import asyncio
+
+    from repro.net import AsyncHttpClient
+    from repro.serve import pin_request_seeds, run_load, synthetic_requests
+
+    if args.compare_coalescing:
+        raise SystemExit(
+            "--compare-coalescing needs an in-process server; it cannot "
+            "reconfigure a remote one"
+        )
+    requests = synthetic_requests(args.requests, seed=args.seed)
+    # Over the wire, arrival order is not submission order: pin each
+    # request's SeedSequence child by its client-side ordinal so the
+    # served digest stays byte-identical to the serial loop.
+    pinned = pin_request_seeds(requests, args.seed)
+
+    async def session():
+        async with AsyncHttpClient.from_url(args.http) as client:
+            report = await run_load(
+                client,
+                pinned,
+                arrival_rate=args.rate,
+                deadline=args.deadline,
+                max_retries=args.retries,
             )
-        with RankingEngine(n_jobs=1) as ref:
-            serial = responses_digest(
-                ref.rank_many(requests, seed=args.seed, n_jobs=1)
-            )
-        if report.digest() != serial:
-            raise SystemExit("digest mismatch: served != serial loop")
-        print(f"digest ok: {serial[:16]}… matches the serial loop")
+            stats = await client.stats()
+            return report, stats
+
+    report, stats = asyncio.run(session())
+    print(report.summary())
+    print(
+        f"server: breaker={stats['breaker']} "
+        f"completed={stats['counters']['completed']} "
+        f"coalescing={stats['coalescing']:.2f} requests/batch"
+    )
+    for label, summary in report.latency_percentiles().items():
+        rendered = ", ".join(
+            f"{name}={value * 1000.0:.2f}ms" for name, value in summary.items()
+        )
+        print(f"  {label}: {rendered}")
+    if args.verify_digest:
+        _verify_serial_digest(report, requests, args.seed)
     return 0
 
 
 def _cmd_bench_client(args, engine: RankingEngine) -> int:
-    """The ``bench-client`` subcommand: a load generator with optional
-    coalescing-on/off comparison."""
+    """The ``bench-client`` subcommand: a load generator against an
+    in-process server, or a remote HTTP frontend (``--http``)."""
     import asyncio
     from dataclasses import replace as _replace
 
@@ -675,6 +776,8 @@ def _cmd_bench_client(args, engine: RankingEngine) -> int:
 
     if args.requests < 1:
         raise SystemExit(f"--requests must be >= 1, got {args.requests}")
+    if args.http is not None:
+        return _bench_client_http(args)
     config = _serve_config(args)
     for path in args.warm_start:
         engine.warm_start_costs(path)
@@ -695,6 +798,8 @@ def _cmd_bench_client(args, engine: RankingEngine) -> int:
 
     report, stats = run_once(config)
     _print_load_report(report, stats)
+    if args.verify_digest:
+        _verify_serial_digest(report, requests, args.seed)
     if args.compare_coalescing:
         solo = _replace(config, max_batch_size=1, batch_window=0.0)
         solo_report, solo_stats = run_once(solo)

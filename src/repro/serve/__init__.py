@@ -34,6 +34,8 @@ from repro.serve.core import (
 )
 from repro.serve.loadgen import (
     LoadReport,
+    RankingTransport,
+    pin_request_seeds,
     run_load,
     synthetic_problems,
     synthetic_requests,
@@ -63,6 +65,8 @@ __all__ = [
     "LoadReport",
     "MicroBatcher",
     "percentile_summary",
+    "pin_request_seeds",
+    "RankingTransport",
     "run_load",
     "ServeConfig",
     "ServeError",

@@ -18,8 +18,8 @@ and the serving tests:
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass, field, replace
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -30,8 +30,40 @@ from repro.serve.protocol import (
     ServerOverloaded,
     percentile_summary,
 )
-from repro.serve.server import AsyncRankingServer
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+
+
+class RankingTransport(Protocol):
+    """Anything :func:`run_load` can fire a swarm at.
+
+    Both :class:`~repro.serve.server.AsyncRankingServer` (in-process)
+    and :class:`~repro.net.client.AsyncHttpClient` (over the wire)
+    satisfy it, which is what lets one load harness race the two.
+    """
+
+    async def submit(
+        self, request: RankingRequest, *, deadline: float | None = None
+    ) -> RankingResponse: ...
+
+
+def pin_request_seeds(
+    requests: Sequence[RankingRequest], seed: SeedLike = None
+) -> list[RankingRequest]:
+    """Pin each unseeded request to the seed child of its list position.
+
+    In process, ``rank_many``/the serving tier derive a request's
+    SeedSequence child from its *submission order* — but over a wire
+    the arrival order is whatever the network makes it.  Pinning the
+    children client-side (requests with an explicit ``seed`` keep it)
+    moves the derivation to the stable client-side ordinal, so a served
+    digest is byte-identical to ``rank_many(requests, seed=seed)``
+    regardless of transport, concurrency, or arrival order.
+    """
+    children = spawn_seed_sequences(seed, len(requests))
+    return [
+        request if request.seed is not None else replace(request, seed=children[i])
+        for i, request in enumerate(requests)
+    ]
 
 
 def synthetic_problems(
@@ -142,7 +174,7 @@ class LoadReport:
 
 
 async def run_load(
-    server: AsyncRankingServer,
+    server: RankingTransport,
     requests: Sequence[RankingRequest],
     *,
     arrival_rate: float | None = None,
@@ -152,18 +184,28 @@ async def run_load(
 ) -> LoadReport:
     """Fire ``requests`` at ``server`` as one concurrent client swarm.
 
-    ``arrival_rate`` (requests/second) paces submissions open-loop;
-    ``None`` releases the whole swarm at once (closed-loop burst).
-    :class:`ServerOverloaded` rejections retry up to ``max_retries`` times
-    with linear backoff, then count as rejected; deadline expiries and
-    engine-side failures are counted, never raised — a load run reports,
-    it does not crash.
+    ``server`` is any :class:`RankingTransport` — the in-process
+    :class:`~repro.serve.server.AsyncRankingServer` or an
+    :class:`~repro.net.client.AsyncHttpClient` pointed at a remote
+    frontend.  ``arrival_rate`` (requests/second) paces submissions
+    open-loop; ``None`` releases the whole swarm at once (closed-loop
+    burst).  :class:`ServerOverloaded` rejections retry up to
+    ``max_retries`` times with linear backoff, then count as rejected;
+    deadline expiries and engine-side failures are counted, never
+    raised — a load run reports, it does not crash.
+
+    Served responses are re-indexed by their position in ``requests``
+    (the client-side ordinal): in process that is the submission index
+    already, and over the wire it replaces server-side submission
+    indices that are meaningless to this client — so
+    :meth:`LoadReport.digest` compares against the serial loop either
+    way.
     """
     loop = asyncio.get_running_loop()
     report = LoadReport(n_requests=len(requests), elapsed=0.0)
     lock = asyncio.Lock()
 
-    async def one_client(request: RankingRequest, delay: float) -> None:
+    async def one_client(ordinal: int, request: RankingRequest, delay: float) -> None:
         if delay > 0.0:
             await asyncio.sleep(delay)
         attempt = 0
@@ -188,6 +230,8 @@ async def run_load(
                     report.failed += 1
                     report.errors.append(exc)
                 return
+            if response.index != ordinal:
+                response = replace(response, index=ordinal)
             response.metadata["serve_latency"] = loop.time() - sent_at
             async with lock:
                 report.responses.append(response)
@@ -197,6 +241,7 @@ async def run_load(
     clients = [
         asyncio.ensure_future(
             one_client(
+                i,
                 request,
                 0.0 if arrival_rate is None else i / arrival_rate,
             )
@@ -210,6 +255,8 @@ async def run_load(
 
 __all__ = [
     "LoadReport",
+    "RankingTransport",
+    "pin_request_seeds",
     "run_load",
     "synthetic_problems",
     "synthetic_requests",

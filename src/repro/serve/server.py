@@ -128,6 +128,14 @@ class AsyncRankingServer:
             raise RuntimeError("the server has not been started")
         return self._core.stats
 
+    @property
+    def breaker_state(self) -> str:
+        """The core's circuit-breaker state (``closed``/``open``/
+        ``half-open``) — what ``/healthz`` reports over HTTP."""
+        if self._core is None:
+            raise RuntimeError("the server has not been started")
+        return self._core.breaker_state
+
     async def start(self) -> "AsyncRankingServer":
         """Bind to the running loop and start the dispatcher."""
         if self._core is not None:

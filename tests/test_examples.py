@@ -48,6 +48,13 @@ class TestFastExamples:
         assert "coalesced batches" in out
         assert "byte-identical to the serial loop: ok" in out
 
+    def test_serving_http(self, capsys):
+        _load_example("serving_http").main()
+        out = capsys.readouterr().out
+        assert "healthz: ok" in out
+        assert "served 24/24 HTTP clients" in out
+        assert "byte-identical to the serial loop: ok" in out
+
 
 class TestExampleFilesExist:
     @pytest.mark.parametrize(
@@ -61,6 +68,7 @@ class TestExampleFilesExist:
             "tradeoff_frontier",
             "serving_throughput",
             "serving_async",
+            "serving_http",
         ],
     )
     def test_present_and_has_main(self, name):

@@ -129,6 +129,71 @@ class TestLifecycle:
 
         run(scenario())
 
+    def test_stop_with_drain_serves_queued_undispatched_requests(self):
+        """A draining stop must serve requests still *queued* behind the
+        admission budget — not just parked windows: the queue promotes
+        as budget frees, even though the core is closed to new work.
+        This is the drain contract the HTTP frontend's SIGTERM path
+        leans on."""
+
+        async def scenario():
+            engine = RankingEngine(n_jobs=1)
+            # Budget admits exactly one default-cost request; the rest
+            # of the burst waits in the admission queue, undispatched.
+            server = await AsyncRankingServer(
+                engine,
+                batch_window=0.0,
+                max_batch_size=1,
+                cost_budget=0.05,
+                default_cost=0.05,
+                max_queue_depth=8,
+                seed=SEED,
+            ).start()
+            waiters = [
+                asyncio.ensure_future(
+                    server.submit(RankingRequest("dp", _problem()))
+                )
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0)  # submissions reach the core
+            stats = server.stats()
+            assert stats.queued >= 2
+            await server.stop()
+            responses = await asyncio.gather(*waiters)
+            assert [r.algorithm for r in responses] == ["dp"] * 4
+            assert stats.completed == 4
+
+        run(scenario())
+
+    def test_stop_without_drain_fails_queued_undispatched_requests(self):
+        """``drain=False`` fails queued-but-undispatched requests with
+        :class:`ServerClosed` instead of serving them."""
+
+        async def scenario():
+            engine = RankingEngine(n_jobs=1)
+            server = await AsyncRankingServer(
+                engine,
+                batch_window=30.0,
+                max_batch_size=1,
+                cost_budget=0.05,
+                default_cost=0.05,
+                max_queue_depth=8,
+                seed=SEED,
+            ).start()
+            waiters = [
+                asyncio.ensure_future(
+                    server.submit(RankingRequest("dp", _problem()))
+                )
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0)
+            assert server.stats().queued >= 2
+            await server.stop(drain=False)
+            outcomes = await asyncio.gather(*waiters, return_exceptions=True)
+            assert all(isinstance(o, ServerClosed) for o in outcomes)
+
+        run(scenario())
+
 
 class TestServingContracts:
     def test_ci_smoke_concurrent_digest_and_clean_shutdown(self):
